@@ -1,0 +1,108 @@
+"""Ablation: chunking parameters — mask width, min/max limits, dedup effect.
+
+Explores the design space §2.1 describes: expected chunk size (marker
+mask width) against dedup effectiveness under a fixed edit workload, and
+the effect of min/max limits on the chunk-size distribution.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.core import Chunker, ChunkerConfig, dedup_ratio
+from repro.workloads import mutate, seeded_bytes
+
+MB = 1 << 20
+
+
+def test_mask_bits_vs_dedup(benchmark, report):
+    """Smaller chunks dedup better but cost more index entries."""
+    data = seeded_bytes(2 * MB, seed=71)
+    edited = mutate(data, 5, mode="replace", seed=72, edit_size=4096)
+    table = report(
+        "Ablation: expected chunk size vs dedup of a 5%-edited stream",
+        ["Mask bits", "Mean chunk B", "Chunks", "Dedup ratio"],
+        paper_note="small chunks improve dedup; metadata overhead motivates min sizes (§2.1)",
+    )
+
+    def run():
+        rows = []
+        for bits in (8, 10, 12, 14):
+            chunker = Chunker(ChunkerConfig(mask_bits=bits, marker=0x2A & ((1 << bits) - 1) | 1))
+            chunks = chunker.chunk(data) + chunker.chunk(edited)
+            ratio = dedup_ratio(chunks)
+            own = chunker.chunk(data)
+            rows.append((bits, statistics.mean(c.length for c in own), len(own), ratio))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for row in rows:
+        table.add(*row)
+
+    # Dedup ratio decreases (or stays flat) as chunks grow.
+    ratios = [r[3] for r in rows]
+    assert ratios[0] >= ratios[-1]
+    # Two near-identical copies approach the 50% dedup ceiling.
+    assert all(0.30 < r < 0.55 for r in ratios)
+
+
+def test_min_max_vs_size_distribution(benchmark, report):
+    """min/max trades dedup stability for bounded metadata and buffers."""
+    data = seeded_bytes(2 * MB, seed=73)
+    base = ChunkerConfig(mask_bits=11, marker=0x2AB)
+    table = report(
+        "Ablation: min/max chunk-size limits vs size distribution",
+        ["Limits", "Mean B", "CoV", "Min B", "Max B"],
+        paper_note="min bounds index overhead, max bounds RAM buffers (§2.1)",
+    )
+
+    def run():
+        rows = []
+        for label, cfg in [
+            ("none", base),
+            ("min=1K", base.with_limits(1024, None)),
+            ("max=4K", base.with_limits(0, 4096)),
+            ("1K..4K", base.with_limits(1024, 4096)),
+        ]:
+            sizes = [c.length for c in Chunker(cfg).chunk(data)]
+            mean = statistics.mean(sizes)
+            cov = statistics.pstdev(sizes) / mean
+            rows.append((label, mean, cov, min(sizes), max(sizes)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for row in rows:
+        table.add(*row)
+
+    by_label = {r[0]: r for r in rows}
+    assert by_label["max=4K"][4] <= 4096
+    assert by_label["1K..4K"][2] < by_label["none"][2]  # tighter distribution
+
+
+def test_engine_scaling(benchmark, report):
+    """Real wall-clock scaling of the vector engine across window sizes."""
+    from repro.core.engines import VectorEngine
+    from repro.core.rabin import RabinFingerprinter
+
+    data = seeded_bytes(1 * MB, seed=74)
+    table = report(
+        "Ablation: window size vs vector-engine scan rate [MB/s, real]",
+        ["Window", "MB/s"],
+        paper_note="scan cost grows with window width (more table XORs)",
+    )
+    import time
+
+    def run():
+        rows = []
+        for window in (16, 32, 48, 64):
+            engine = VectorEngine(RabinFingerprinter(window_size=window))
+            start = time.perf_counter()
+            engine.candidate_cuts(data, (1 << 13) - 1, 0x1A2B)
+            elapsed = time.perf_counter() - start
+            rows.append((window, 1.0 / elapsed))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for row in rows:
+        table.add(*row)
+    assert rows[0][1] > rows[-1][1]  # narrower window scans faster

@@ -1,0 +1,71 @@
+"""Ablation: contribution of each Shredder optimization (DESIGN.md §5).
+
+Starts from the basic design and adds optimizations one at a time,
+reporting modeled 1 GB throughput after each step.  This decomposes the
+overall >5x of Fig. 12 into its per-technique contributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.shredder import Shredder, ShredderConfig
+
+GB = 1 << 30
+
+STEPS = [
+    ("basic (serialized, pageable, naive memory)", ShredderConfig.gpu_basic()),
+    ("+ double buffering + pinned ring", replace(
+        ShredderConfig.gpu_basic(), double_buffering=True, pinned_ring=True)),
+    ("+ 4-stage streaming pipeline", ShredderConfig.gpu_streams()),
+    ("+ memory coalescing", ShredderConfig.gpu_streams_memory()),
+]
+
+
+def test_optimization_ablation(benchmark, report):
+    table = report(
+        "Ablation: cumulative effect of Shredder optimizations [GBps, 1 GB]",
+        ["Configuration", "Throughput", "Gain vs basic"],
+        paper_note="decomposes the Fig. 12 >5x into per-technique steps",
+    )
+
+    def run():
+        out = []
+        for name, cfg in STEPS:
+            with Shredder(cfg) as shredder:
+                out.append((name, shredder.simulate(GB).throughput_bps))
+        return out
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    base = rows[0][1]
+    for name, bps in rows:
+        table.add(name, bps / 1e9, bps / base)
+
+    throughputs = [bps for _, bps in rows]
+    # Monotonically non-decreasing as optimizations accumulate.
+    for earlier, later in zip(throughputs, throughputs[1:]):
+        assert later >= earlier * 0.99
+    assert throughputs[-1] > 3 * throughputs[0]
+
+
+def test_ring_slot_ablation(benchmark, report):
+    """Pipeline depth is bounded by ring slots (in-flight buffers)."""
+    table = report(
+        "Ablation: pinned-ring depth vs pipelined throughput [GBps]",
+        ["Ring slots", "Throughput"],
+        paper_note="ring depth must cover pipeline stages (§4.1.2)",
+    )
+
+    def run():
+        out = []
+        for slots in (1, 2, 3, 4, 6):
+            cfg = replace(ShredderConfig.gpu_streams_memory(), ring_slots=slots)
+            with Shredder(cfg) as shredder:
+                out.append((slots, shredder.simulate(GB).throughput_bps))
+        return out
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for slots, bps in rows:
+        table.add(slots, bps / 1e9)
+    by_slots = dict(rows)
+    assert by_slots[4] > by_slots[1]

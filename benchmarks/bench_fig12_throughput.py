@@ -1,0 +1,74 @@
+"""Figure 12: content-based chunking throughput, CPU vs GPU versions.
+
+The five bars: pthreads CPU without/with the Hoard allocator, GPU Basic
+(no optimizations), GPU Streams (double buffering + ring + 4-stage
+pipeline), GPU Streams + Memory (adds coalescing).  Modeled over a 1 GB
+stream.  Expected shape: GPU Basic ~2x the optimized CPU; the fully
+optimized version >5x.
+
+Also measures the *real* wall-clock throughput of this library's
+vectorized chunking engine on in-memory data, so the repo reports an
+honest Python-level number alongside the modeled hardware numbers.
+"""
+
+from __future__ import annotations
+
+from repro.core.shredder import Shredder, ShredderConfig
+from repro.workloads import seeded_bytes
+
+MB, GB = 1 << 20, 1 << 30
+
+CONFIGS = [
+    ("CPU w/o Hoard", ShredderConfig.cpu(hoard=False)),
+    ("CPU w/ Hoard", ShredderConfig.cpu(hoard=True)),
+    ("GPU Basic", ShredderConfig.gpu_basic()),
+    ("GPU Streams", ShredderConfig.gpu_streams()),
+    ("GPU Streams + Memory", ShredderConfig.gpu_streams_memory()),
+]
+
+
+def test_fig12_modeled(benchmark, report):
+    table = report(
+        "Figure 12: Chunking throughput by configuration [GBps, modeled]",
+        ["Configuration", "Throughput", "Speedup vs CPU w/ Hoard", "Bottleneck"],
+        paper_note="GPU basic ~2x host-only; all optimizations >5x (§5.3)",
+    )
+
+    def run():
+        rows = {}
+        for name, cfg in CONFIGS:
+            with Shredder(cfg) as shredder:
+                rep = shredder.simulate(GB)
+            bottleneck = rep.bottleneck() if rep.backend == "gpu" else "chunking"
+            rows[name] = (rep.throughput_bps, bottleneck)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    cpu_hoard = rows["CPU w/ Hoard"][0]
+    for name, _ in CONFIGS:
+        bps, bottleneck = rows[name]
+        table.add(name, bps / 1e9, bps / cpu_hoard, bottleneck)
+
+    assert rows["CPU w/o Hoard"][0] < rows["CPU w/ Hoard"][0]
+    assert 1.3 < rows["GPU Basic"][0] / cpu_hoard < 2.6
+    assert rows["GPU Streams"][0] > rows["GPU Basic"][0]
+    assert rows["GPU Streams + Memory"][0] / cpu_hoard > 5.0
+    assert rows["GPU Streams + Memory"][1] == "read"  # reader-bound at last
+
+
+def test_fig12_real_engine(benchmark, report):
+    """Honest wall-clock throughput of the NumPy chunking engine."""
+    data = seeded_bytes(4 * MB, seed=55)
+    table = report(
+        "Figure 12 (companion): real Python engine wall-clock throughput",
+        ["Engine", "MB/s"],
+        paper_note="not a paper figure; Python-level honesty check",
+    )
+    from repro.core import Chunker
+
+    chunker = Chunker()
+
+    result = benchmark(chunker.candidate_cuts, data)
+    assert result  # boundaries found
+    seconds = benchmark.stats.stats.mean
+    table.add("VectorEngine (48B window, 13-bit mask)", 4 / seconds)

@@ -1,0 +1,53 @@
+"""Figure 3: bandwidth test between host and device.
+
+Sweeps buffer sizes from 4 KB to 64 MB for pageable vs pinned host
+buffers in both transfer directions, reporting effective throughput.
+Expected shape: small buffers expensive; pinned saturates by ~256 KB,
+pageable by ~32 MB; at large sizes the gap is insignificant; peak ~5 GBps.
+"""
+
+from __future__ import annotations
+
+from repro.gpu import DMAModel, Direction, MemoryType
+
+KB, MB = 1024, 1 << 20
+SIZES = [4 * KB, 16 * KB, 32 * KB, 64 * KB, 256 * KB, 1 * MB, 4 * MB, 16 * MB, 32 * MB, 64 * MB]
+
+
+def _label(size: int) -> str:
+    return f"{size // MB}M" if size >= MB else f"{size // KB}K"
+
+
+def test_fig3(benchmark, report):
+    dma = DMAModel()
+    table = report(
+        "Figure 3: Host/device DMA bandwidth vs buffer size [MB/s]",
+        ["Buffer", "H2D-Pageable", "H2D-Pinned", "D2H-Pageable", "D2H-Pinned"],
+        paper_note="pinned saturates ~256KB, pageable ~32MB; peaks 5.406/5.129 GBps",
+    )
+
+    def sweep():
+        rows = []
+        for size in SIZES:
+            rows.append(
+                (
+                    _label(size),
+                    dma.bandwidth(size, Direction.HOST_TO_DEVICE, MemoryType.PAGEABLE) / 1e6,
+                    dma.bandwidth(size, Direction.HOST_TO_DEVICE, MemoryType.PINNED) / 1e6,
+                    dma.bandwidth(size, Direction.DEVICE_TO_HOST, MemoryType.PAGEABLE) / 1e6,
+                    dma.bandwidth(size, Direction.DEVICE_TO_HOST, MemoryType.PINNED) / 1e6,
+                )
+            )
+        return rows
+
+    for row in benchmark(sweep):
+        table.add(*row)
+
+    # Shape assertions (the paper's four "highlights").
+    small_pinned = dma.bandwidth(4 * KB)
+    assert small_pinned < 0.2 * dma.gpu.h2d_bandwidth
+    assert dma.bandwidth(256 * KB) > 0.8 * dma.gpu.h2d_bandwidth
+    big_pinned = dma.bandwidth(64 * MB)
+    big_pageable = dma.bandwidth(64 * MB, memory_type=MemoryType.PAGEABLE)
+    assert (big_pinned - big_pageable) / big_pinned < 0.15
+    assert 4e9 < big_pinned < 6e9

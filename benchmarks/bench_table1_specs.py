@@ -1,0 +1,34 @@
+"""Table 1: performance characteristics of the GPU (NVidia Tesla C2050).
+
+Regenerates the paper's Table 1 from the simulator's spec constants and
+cross-checks the two derived quantities the paper's argument rests on:
+device-memory bandwidth is an order of magnitude above PCIe, and PCIe is
+above the 2 GBps reader.
+"""
+
+from __future__ import annotations
+
+from repro.gpu import DMAModel, TESLA_C2050, XEON_X5650_HOST, table1_rows
+
+MB = 1 << 20
+
+
+def test_table1(benchmark, report):
+    table = report(
+        "Table 1: Performance characteristics of the GPU (NVidia Tesla C2050)",
+        ["Parameter", "Value"],
+        paper_note="values quoted directly from Table 1 of the paper",
+    )
+    rows = benchmark(table1_rows)
+    for parameter, value in rows:
+        table.add(parameter, value)
+
+    as_dict = dict(rows)
+    assert as_dict["GPU Processing Capacity"] == "1030 GFlops"
+    assert as_dict["Device Memory Bandwidth"] == "144 GBps"
+
+    # Derived sanity: the bandwidth hierarchy driving the paper's design.
+    dma = DMAModel(TESLA_C2050)
+    pcie = dma.bandwidth(64 * MB)
+    assert TESLA_C2050.device_memory_bandwidth > 10 * pcie
+    assert pcie > XEON_X5650_HOST.reader_bandwidth

@@ -1,0 +1,38 @@
+"""Benchmark-suite plumbing: collect experiment tables, print at the end.
+
+Each bench regenerates one of the paper's tables/figures as rows via the
+`report` fixture; everything collected is printed in the terminal summary
+(visible even with captured output) so `pytest benchmarks/ --benchmark-only`
+emits the full paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import ResultTable, format_table
+
+_TABLES: list[ResultTable] = []
+
+
+@pytest.fixture()
+def report():
+    """Factory: report(title, headers, paper_note="") -> ResultTable."""
+
+    def _make(title: str, headers, paper_note: str = "") -> ResultTable:
+        table = ResultTable(title=title, headers=headers, paper_note=paper_note)
+        _TABLES.append(table)
+        return table
+
+    return _make
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    tr = terminalreporter
+    tr.section("Shredder reproduction: regenerated tables and figures")
+    for table in _TABLES:
+        tr.write_line("")
+        for line in format_table(table).splitlines():
+            tr.write_line(line)

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Case study I: incremental MapReduce over Inc-HDFS (§6).
+
+Uploads a text corpus to Inc-HDFS with Shredder content-based chunking,
+runs Word-Count, then changes 5% of the records and re-runs.  The Incoop
+runtime reuses memoized map tasks for every unchanged split and reports
+the speedup over a from-scratch Hadoop run.
+
+Run:  python examples/incremental_wordcount.py
+"""
+
+from repro.core.chunking import ChunkerConfig
+from repro.core.shredder import Shredder, ShredderConfig
+from repro.hdfs import HDFSCluster
+from repro.mapreduce import IncoopRuntime
+from repro.mapreduce.applications import wordcount_job, wordcount_reference
+from repro.workloads import generate_text, mutate_records
+
+CHUNKER = ChunkerConfig(mask_bits=10, marker=0x2AB, min_size=256, max_size=2048)
+UPLOAD = ShredderConfig.gpu_streams_memory(chunker=CHUNKER)
+
+
+def upload(cluster: HDFSCluster, data: bytes, path: str) -> None:
+    with Shredder(UPLOAD) as shredder:
+        result = cluster.client.copy_from_local_gpu(data, path, shredder=shredder)
+    print(f"  uploaded {len(data)} B to {path} as {result.n_blocks} "
+          "content-defined, record-aligned splits")
+
+
+def main() -> None:
+    text = generate_text(400_000, seed=7)
+    cluster = HDFSCluster(num_datanodes=20)
+    incoop = IncoopRuntime(cluster.client)
+    job = wordcount_job()
+
+    print("initial run (cold memo server):")
+    upload(cluster, text, "/wiki/day0")
+    first = incoop.run_incremental(job, "/wiki/day0")
+    assert first.output == wordcount_reference(text)
+    s = first.stats
+    print(f"  ran {s.map_tasks_run} map tasks, reused {s.map_tasks_reused}; "
+          f"cluster makespan {s.makespan_seconds:.2f}s\n")
+
+    print("incremental run after changing 5% of records:")
+    changed = mutate_records(text, 5, seed=8)
+    upload(cluster, changed, "/wiki/day1")
+    second, speedup = incoop.speedup_vs_full(job, "/wiki/day1")
+    assert second.output == wordcount_reference(changed)
+    s = second.stats
+    print(f"  ran {s.map_tasks_run} map tasks, reused {s.map_tasks_reused} "
+          f"({s.reuse_fraction:.0%} reuse)")
+    print(f"  contraction nodes: {s.combine_nodes_run} recomputed, "
+          f"{s.combine_nodes_reused} reused")
+    print(f"  speedup vs from-scratch Hadoop run: {speedup:.1f}x")
+    print("  output verified identical to a non-incremental run")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""repro: full reproduction of Shredder (FAST 2012).
+
+GPU-accelerated content-based chunking for incremental storage and
+computation, with a simulated Tesla C2050 substrate, an Inc-HDFS +
+incremental MapReduce case study, and a cloud-backup case study.
+"""
+
+__version__ = "1.0.0"

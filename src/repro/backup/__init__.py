@@ -1,0 +1,12 @@
+"""Cloud backup case study: dedup backup server + backup-site agent."""
+
+from repro.backup.agent import ShredderAgent, TransferLog
+from repro.backup.image import MasterImage, SimilarityTable
+from repro.backup.server import BackupConfig, BackupReport, BackupServer
+from repro.backup.store import ChunkStore, SnapshotRecipe
+
+__all__ = [
+    "ShredderAgent", "TransferLog", "MasterImage", "SimilarityTable",
+    "BackupConfig", "BackupReport", "BackupServer", "ChunkStore",
+    "SnapshotRecipe",
+]

@@ -1,0 +1,83 @@
+"""Backup-site Shredder agent (§7.2).
+
+"We deploy an additional Shredder agent residing on the backup site,
+which receives all the chunks and pointers and recreates the original
+uncompressed data."  The agent receives a mixed stream of chunk payloads
+and pointers, stores new chunks in the site's content-addressed store,
+and finalizes a recipe per snapshot so restores are possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.hashing import chunk_hash
+from repro.backup.store import ChunkStore, SnapshotRecipe
+
+__all__ = ["ShredderAgent", "TransferLog"]
+
+
+@dataclass
+class TransferLog:
+    """What crossed the wire for one snapshot."""
+
+    chunks_received: int = 0
+    pointers_received: int = 0
+    bytes_received: int = 0
+
+    @property
+    def total_items(self) -> int:
+        return self.chunks_received + self.pointers_received
+
+
+@dataclass
+class ShredderAgent:
+    """Receives chunks/pointers and recreates snapshots."""
+
+    store: ChunkStore = field(default_factory=ChunkStore)
+    _open: dict[str, tuple[list[bytes], TransferLog]] = field(default_factory=dict)
+
+    def begin_snapshot(self, snapshot_id: str) -> None:
+        if snapshot_id in self._open:
+            raise ValueError(f"snapshot {snapshot_id!r} already open")
+        self._open[snapshot_id] = ([], TransferLog())
+
+    def _session(self, snapshot_id: str):
+        try:
+            return self._open[snapshot_id]
+        except KeyError:
+            raise ValueError(f"snapshot {snapshot_id!r} is not open") from None
+
+    def receive_chunk(self, snapshot_id: str, data: bytes) -> None:
+        """A new (non-duplicate) chunk payload arrives."""
+        digests, log = self._session(snapshot_id)
+        digest = chunk_hash(data)
+        self.store.put_chunk(digest, data)
+        digests.append(digest)
+        log.chunks_received += 1
+        log.bytes_received += len(data)
+
+    def receive_pointer(self, snapshot_id: str, digest: bytes) -> None:
+        """A pointer to an already-stored chunk arrives."""
+        digests, log = self._session(snapshot_id)
+        if not self.store.has_chunk(digest):
+            raise KeyError(
+                f"pointer to unknown chunk {digest.hex()[:16]} in "
+                f"snapshot {snapshot_id!r}"
+            )
+        digests.append(digest)
+        log.pointers_received += 1
+
+    def finish_snapshot(self, snapshot_id: str) -> TransferLog:
+        """Close the session, persist the recipe, return the transfer log."""
+        digests, log = self._session(snapshot_id)
+        total = sum(len(self.store.get_chunk(d)) for d in digests)
+        self.store.put_recipe(
+            SnapshotRecipe(snapshot_id, tuple(digests), total_bytes=total)
+        )
+        del self._open[snapshot_id]
+        return log
+
+    def restore(self, snapshot_id: str) -> bytes:
+        """Recreate the original uncompressed snapshot."""
+        return self.store.restore(snapshot_id)

@@ -1,0 +1,100 @@
+"""Backup-site chunk store and snapshot recipes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ChunkStore", "SnapshotRecipe"]
+
+
+@dataclass(frozen=True)
+class SnapshotRecipe:
+    """Ordered chunk digests that reconstitute one snapshot."""
+
+    snapshot_id: str
+    digests: tuple[bytes, ...]
+    total_bytes: int
+
+
+@dataclass
+class ChunkStore:
+    """Content-addressed chunk storage at the backup site.
+
+    Chunks are stored once per digest; recipes reference them.  This is
+    the state the Shredder agent (§7.2) rebuilds snapshots from.
+    """
+
+    _chunks: dict[bytes, bytes] = field(default_factory=dict)
+    _recipes: dict[str, SnapshotRecipe] = field(default_factory=dict)
+
+    def put_chunk(self, digest: bytes, data: bytes) -> bool:
+        """Store a chunk; returns False if it was already present."""
+        if digest in self._chunks:
+            return False
+        self._chunks[digest] = bytes(data)
+        return True
+
+    def has_chunk(self, digest: bytes) -> bool:
+        return digest in self._chunks
+
+    def get_chunk(self, digest: bytes) -> bytes:
+        try:
+            return self._chunks[digest]
+        except KeyError:
+            raise KeyError(f"chunk {digest.hex()[:16]} missing from store") from None
+
+    def put_recipe(self, recipe: SnapshotRecipe) -> None:
+        if recipe.snapshot_id in self._recipes:
+            raise ValueError(f"snapshot {recipe.snapshot_id!r} already stored")
+        missing = [d for d in recipe.digests if d not in self._chunks]
+        if missing:
+            raise ValueError(
+                f"recipe {recipe.snapshot_id!r} references {len(missing)} "
+                "missing chunks"
+            )
+        self._recipes[recipe.snapshot_id] = recipe
+
+    def get_recipe(self, snapshot_id: str) -> SnapshotRecipe:
+        try:
+            return self._recipes[snapshot_id]
+        except KeyError:
+            raise KeyError(f"no snapshot {snapshot_id!r}") from None
+
+    def restore(self, snapshot_id: str) -> bytes:
+        """Reassemble a snapshot from its recipe (the agent's job)."""
+        recipe = self.get_recipe(snapshot_id)
+        return b"".join(self._chunks[d] for d in recipe.digests)
+
+    def delete_recipe(self, snapshot_id: str) -> None:
+        """Drop a snapshot's recipe (retention expiry).  Chunks remain
+        until :meth:`garbage_collect` runs."""
+        if snapshot_id not in self._recipes:
+            raise KeyError(f"no snapshot {snapshot_id!r}")
+        del self._recipes[snapshot_id]
+
+    def garbage_collect(self) -> int:
+        """Delete chunks referenced by no recipe; returns bytes freed.
+
+        Mark-and-sweep over the recipe set — the standard reclamation a
+        deduplicating backup store needs once snapshots expire (the
+        "reference management burden" [24] discusses).
+        """
+        live: set[bytes] = set()
+        for recipe in self._recipes.values():
+            live.update(recipe.digests)
+        freed = 0
+        for digest in [d for d in self._chunks if d not in live]:
+            freed += len(self._chunks.pop(digest))
+        return freed
+
+    @property
+    def stored_bytes(self) -> int:
+        return sum(len(c) for c in self._chunks.values())
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self._chunks)
+
+    @property
+    def snapshot_count(self) -> int:
+        return len(self._recipes)

@@ -1,0 +1,5 @@
+"""Benchmark harness helpers."""
+
+from repro.bench.reporting import ResultTable, format_table
+
+__all__ = ["ResultTable", "format_table"]

@@ -1,0 +1,48 @@
+"""Paper-style table formatting for the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["ResultTable", "format_table"]
+
+
+@dataclass
+class ResultTable:
+    """One experiment's regenerated rows plus the paper's expectation."""
+
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence[object]] = field(default_factory=list)
+    paper_note: str = ""
+
+    def add(self, *row: object) -> None:
+        self.rows.append(row)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) < 0.01 or abs(value) >= 100000):
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(table: ResultTable) -> str:
+    """Render an aligned ASCII table with title and paper note."""
+    rows = [[_cell(c) for c in row] for row in table.rows]
+    headers = [str(h) for h in table.headers]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [f"== {table.title} =="]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    if table.paper_note:
+        lines.append(f"paper: {table.paper_note}")
+    return "\n".join(lines)

@@ -1,0 +1,181 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``chunk FILE``      content-based chunking of a file; prints chunk table
+``dedup A B``       cross-file dedup statistics (how similar are A and B?)
+``throughput``      the Figure 12 configuration comparison (modeled)
+``table1``          the simulated GPU's Table 1 characteristics
+``backup FILE``     one-shot dedup backup of FILE against itself + stats
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bench.reporting import ResultTable, format_table
+
+__all__ = ["main", "build_parser"]
+
+GB = 1 << 30
+
+
+def _read(path: str) -> bytes:
+    data = Path(path).read_bytes()
+    if not data:
+        raise SystemExit(f"{path} is empty")
+    return data
+
+
+def _chunker_config(args) -> "ChunkerConfig":
+    from repro.core.chunking import ChunkerConfig
+
+    return ChunkerConfig(
+        mask_bits=args.mask_bits,
+        marker=args.marker & ((1 << args.mask_bits) - 1),
+        min_size=args.min_size,
+        max_size=args.max_size,
+    )
+
+
+def cmd_chunk(args) -> int:
+    from repro.core import Chunker, size_stats
+
+    data = _read(args.file)
+    chunker = Chunker(_chunker_config(args))
+    chunks = chunker.chunk(data)
+    stats = size_stats([c.length for c in chunks])
+    table = ResultTable(
+        f"Chunks of {args.file}",
+        ["Offset", "Length", "Digest (prefix)"],
+    )
+    shown = chunks if args.all else chunks[:20]
+    for c in shown:
+        table.add(c.offset, c.length, c.digest.hex()[:16])
+    print(format_table(table))
+    if len(chunks) > len(shown):
+        print(f"... {len(chunks) - len(shown)} more chunks (use --all)")
+    print(
+        f"{stats.count} chunks, mean {stats.mean:.0f} B "
+        f"(min {stats.minimum}, max {stats.maximum})"
+    )
+    return 0
+
+
+def cmd_dedup(args) -> int:
+    from repro.core import Chunker, DedupIndex
+
+    chunker = Chunker(_chunker_config(args))
+    index = DedupIndex()
+    index.add_all(chunker.chunk(_read(args.file_a)))
+    unique_before = index.stats.unique_bytes
+    index.add_all(chunker.chunk(_read(args.file_b)))
+    stats = index.stats
+    new_bytes = stats.unique_bytes - unique_before
+    print(f"{args.file_b} vs {args.file_a}:")
+    print(f"  shared content: {stats.duplicate_bytes} B across "
+          f"{stats.duplicate_chunks} duplicate chunks")
+    print(f"  new content in {args.file_b}: {new_bytes} B")
+    print(f"  overall dedup ratio: {stats.dedup_ratio:.1%}")
+    return 0
+
+
+def cmd_throughput(args) -> int:
+    from repro.core.shredder import Shredder, ShredderConfig
+
+    table = ResultTable(
+        "Modeled chunking throughput, 1 GiB stream (Figure 12)",
+        ["Configuration", "GBps"],
+    )
+    for name, cfg in [
+        ("CPU w/o Hoard", ShredderConfig.cpu(hoard=False)),
+        ("CPU w/ Hoard", ShredderConfig.cpu(hoard=True)),
+        ("GPU Basic", ShredderConfig.gpu_basic()),
+        ("GPU Streams", ShredderConfig.gpu_streams()),
+        ("GPU Streams + Memory", ShredderConfig.gpu_streams_memory()),
+    ]:
+        with Shredder(cfg) as shredder:
+            table.add(name, shredder.simulate(GB).throughput_bps / 1e9)
+    print(format_table(table))
+    return 0
+
+
+def cmd_table1(args) -> int:
+    from repro.gpu import table1_rows
+
+    table = ResultTable(
+        "Performance characteristics of the GPU (NVidia Tesla C2050)",
+        ["Parameter", "Value"],
+    )
+    for row in table1_rows():
+        table.add(*row)
+    print(format_table(table))
+    return 0
+
+
+def cmd_backup(args) -> int:
+    from repro.backup import BackupConfig, BackupServer
+
+    data = _read(args.file)
+    with BackupServer(BackupConfig(backend=args.backend)) as server:
+        report = server.backup_snapshot(data, "cli")
+        restored = server.agent.restore("cli")
+    assert restored == data
+    print(f"backed up {report.total_bytes} B as {report.n_chunks} chunks")
+    print(f"  shipped {report.shipped_bytes} B "
+          f"({report.dedup_fraction:.1%} duplicate chunks)")
+    print(f"  modeled bandwidth: {report.backup_bandwidth_gbps:.2f} Gbps "
+          f"(bottleneck: {report.bottleneck})")
+    print("  restore verified byte-exact")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Shredder (FAST 2012) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_chunker_args(p):
+        p.add_argument("--mask-bits", type=int, default=13,
+                       help="marker mask width; expected chunk = 2^bits")
+        p.add_argument("--marker", type=lambda v: int(v, 0), default=0x1A2B)
+        p.add_argument("--min-size", type=int, default=0)
+        p.add_argument("--max-size", type=int, default=None)
+
+    p_chunk = sub.add_parser("chunk", help="content-based chunking of a file")
+    p_chunk.add_argument("file")
+    p_chunk.add_argument("--all", action="store_true", help="print every chunk")
+    add_chunker_args(p_chunk)
+    p_chunk.set_defaults(fn=cmd_chunk)
+
+    p_dedup = sub.add_parser("dedup", help="cross-file dedup statistics")
+    p_dedup.add_argument("file_a")
+    p_dedup.add_argument("file_b")
+    add_chunker_args(p_dedup)
+    p_dedup.set_defaults(fn=cmd_dedup)
+
+    p_thr = sub.add_parser("throughput", help="Figure 12 configuration table")
+    p_thr.set_defaults(fn=cmd_throughput)
+
+    p_t1 = sub.add_parser("table1", help="simulated GPU characteristics")
+    p_t1.set_defaults(fn=cmd_table1)
+
+    p_backup = sub.add_parser("backup", help="one-shot dedup backup of a file")
+    p_backup.add_argument("file")
+    p_backup.add_argument("--backend", choices=("gpu", "cpu"), default="gpu")
+    p_backup.set_defaults(fn=cmd_backup)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Core Shredder library: Rabin fingerprinting, chunking, dedup, pipeline."""
+
+from repro.core.baselines import FixedSizeChunker, SampleByteChunker
+from repro.core.buffers import DoubleBuffer, PinnedRingBuffer, RingSlot
+from repro.core.chunking import Chunk, Chunker, ChunkerConfig, chunk_sizes, select_cuts
+from repro.core.dedup import DedupIndex, DedupStats
+from repro.core.engines import Engine, SerialEngine, VectorEngine, default_engine
+from repro.core.hashing import chunk_hash, short_hash, weak_checksum
+from repro.core.host_chunker import HOARD, MALLOC, AllocatorModel, HostParallelChunker
+from repro.core.executor import BoundaryStitcher, ExecutionTotals, ShredderExecutor
+from repro.core.parallel_minmax import compute_jumps, parallel_select_cuts
+from repro.core.pipeline import PipelineError, Stage, StreamingPipeline
+from repro.core.rabin import DEFAULT_WINDOW_SIZE, RabinFingerprinter, default_polynomial
+from repro.core.shredder import Shredder, ShredderConfig, ShredderReport
+from repro.core.stats import SizeStats, dedup_ratio, size_stats, unique_bytes
+
+__all__ = [
+    "FixedSizeChunker", "SampleByteChunker",
+    "BoundaryStitcher", "ExecutionTotals", "ShredderExecutor",
+    "compute_jumps", "parallel_select_cuts",
+    "DoubleBuffer", "PinnedRingBuffer", "RingSlot",
+    "Chunk", "Chunker", "ChunkerConfig", "chunk_sizes", "select_cuts",
+    "DedupIndex", "DedupStats",
+    "Engine", "SerialEngine", "VectorEngine", "default_engine",
+    "chunk_hash", "short_hash", "weak_checksum",
+    "HOARD", "MALLOC", "AllocatorModel", "HostParallelChunker",
+    "PipelineError", "Stage", "StreamingPipeline",
+    "DEFAULT_WINDOW_SIZE", "RabinFingerprinter", "default_polynomial",
+    "Shredder", "ShredderConfig", "ShredderReport",
+    "SizeStats", "dedup_ratio", "size_stats", "unique_bytes",
+]

@@ -1,0 +1,132 @@
+"""Baseline chunking schemes the paper positions Shredder against (§1, §2.1).
+
+Two families of shortcut the paper says systems take when Rabin chunking
+is too expensive:
+
+``SampleByteChunker``
+    Sampling-based chunking in the style of SampleByte/EndRE [9]: instead
+    of fingerprinting a sliding window, declare a boundary whenever a
+    single byte value belongs to a sampled marker set, then *skip* half
+    the expected chunk size.  Very fast, but "such approaches are
+    limiting because they are suited only for small sized chunks, as
+    skipping a large number of bytes leads to missed opportunities for
+    deduplication".
+
+``FixedSizeChunker``
+    Offset-defined chunking (the route taken by systems that "skip
+    content-based chunking entirely" [24]): cheap, but a single inserted
+    byte shifts every later boundary and destroys dedup.
+
+Both implement enough of the :class:`~repro.core.chunking.Chunker`
+surface (``cuts`` / ``chunk``) to drop into the dedup-quality ablation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.chunking import Chunk
+
+__all__ = ["SampleByteChunker", "FixedSizeChunker"]
+
+
+@dataclass(frozen=True)
+class SampleByteConfig:
+    """SampleByte parameters.
+
+    ``expected_size`` controls both the marker-set density (1/256 of byte
+    values per 256 bytes of expected chunk) and the post-boundary skip of
+    ``expected_size // 2`` bytes that gives SampleByte its speed.
+    """
+
+    expected_size: int = 4096
+    seed: int = 2012
+
+    def __post_init__(self) -> None:
+        if self.expected_size < 2:
+            raise ValueError("expected_size must be >= 2")
+
+
+class SampleByteChunker:
+    """Sampling-based chunker (SampleByte [9])."""
+
+    def __init__(self, config: SampleByteConfig | None = None) -> None:
+        self.config = config or SampleByteConfig()
+        expected = self.config.expected_size
+        # With m marker byte-values the per-byte hit probability is m/256,
+        # so the mean scan distance to a hit is 256/m; the post-boundary
+        # skip makes up the rest of the expected chunk size.
+        n_markers = max(1, min(128, round(512 / expected)))
+        rng = random.Random(self.config.seed)
+        marker_values = rng.sample(range(256), n_markers)
+        table = np.zeros(256, dtype=bool)
+        table[marker_values] = True
+        self._table = table
+        self._skip = max(0, expected - 256 // n_markers)
+
+    @property
+    def skip(self) -> int:
+        """Bytes skipped (never inspected) after each boundary."""
+        return self._skip
+
+    def cuts(self, data: bytes) -> list[int]:
+        """Exclusive cut offsets (ends with ``len(data)``)."""
+        if not data:
+            return []
+        arr = np.frombuffer(data, dtype=np.uint8)
+        hits = np.nonzero(self._table[arr])[0]
+        cuts: list[int] = []
+        prev = 0
+        skip = self.skip
+        i = 0
+        n_hits = len(hits)
+        while i < n_hits:
+            pos = int(hits[i])
+            if pos + 1 <= prev + skip:
+                # Inside the skipped region: SampleByte never inspects
+                # these bytes, that is where its speed comes from.
+                i = int(np.searchsorted(hits, prev + skip))
+                continue
+            cuts.append(pos + 1)
+            prev = pos + 1
+            i = int(np.searchsorted(hits, prev + skip))
+        if not cuts or cuts[-1] != len(data):
+            cuts.append(len(data))
+        return cuts
+
+    def chunk(self, data: bytes, base_offset: int = 0) -> list[Chunk]:
+        chunks = []
+        prev = 0
+        for cut in self.cuts(data):
+            chunks.append(Chunk.from_bytes(base_offset + prev, data[prev:cut]))
+            prev = cut
+        return chunks
+
+
+@dataclass(frozen=True)
+class FixedSizeChunker:
+    """Offset-defined chunking: boundaries every ``block_size`` bytes."""
+
+    block_size: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.block_size <= 0:
+            raise ValueError("block_size must be positive")
+
+    def cuts(self, data: bytes) -> list[int]:
+        if not data:
+            return []
+        cuts = list(range(self.block_size, len(data), self.block_size))
+        cuts.append(len(data))
+        return cuts
+
+    def chunk(self, data: bytes, base_offset: int = 0) -> list[Chunk]:
+        chunks = []
+        prev = 0
+        for cut in self.cuts(data):
+            chunks.append(Chunk.from_bytes(base_offset + prev, data[prev:cut]))
+            prev = cut
+        return chunks

@@ -1,0 +1,297 @@
+"""Content-based chunking: turn candidate cuts into chunks (§2.1, §3.1).
+
+The paper's pipeline separates *finding marker windows* (the expensive
+scan, offloaded to the GPU) from *selecting chunk boundaries* (applying
+minimum / maximum chunk sizes, done by the Store thread).  This module
+implements the second step plus the user-facing :class:`Chunker` API.
+
+Defaults follow §3.1: a 48-byte window whose fingerprint's low-order
+13 bits are compared against a fixed marker, giving an expected chunk
+size of ``2**13`` bytes, with ``min = 0`` and ``max = ∞`` unless noted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.engines import Engine, SerialEngine, VectorEngine, default_engine
+from repro.core.hashing import chunk_hash
+from repro.core.rabin import DEFAULT_WINDOW_SIZE, RabinFingerprinter
+
+__all__ = ["ChunkerConfig", "Chunk", "Chunker", "select_cuts", "chunk_sizes"]
+
+#: Default number of low-order fingerprint bits compared against the marker
+#: (§3.1: "the resulting low-order 13 bits").
+DEFAULT_MASK_BITS = 13
+
+#: Default marker value (any fixed 13-bit constant works; zero is avoided
+#: because long runs of zero bytes would match at every offset).
+DEFAULT_MARKER = 0x1A2B & ((1 << DEFAULT_MASK_BITS) - 1)
+
+
+@dataclass(frozen=True)
+class ChunkerConfig:
+    """Parameters of a content-based chunker.
+
+    Attributes
+    ----------
+    window_size:
+        Sliding-window width in bytes.
+    mask_bits:
+        Number of low-order fingerprint bits compared with ``marker``.
+        The expected chunk size is ``2**mask_bits`` bytes.
+    marker:
+        Value the masked fingerprint must equal at a chunk boundary.
+    min_size / max_size:
+        Minimum and maximum chunk sizes.  ``min_size = 0`` and
+        ``max_size = None`` (unbounded) reproduce the paper's default.
+    polynomial:
+        Irreducible GF(2) polynomial; ``None`` selects the library default.
+    """
+
+    window_size: int = DEFAULT_WINDOW_SIZE
+    mask_bits: int = DEFAULT_MASK_BITS
+    marker: int = DEFAULT_MARKER
+    min_size: int = 0
+    max_size: int | None = None
+    polynomial: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.mask_bits < 1 or self.mask_bits > 48:
+            raise ValueError(f"mask_bits must be in [1, 48], got {self.mask_bits}")
+        if self.marker >> self.mask_bits:
+            raise ValueError(
+                f"marker {self.marker:#x} does not fit in {self.mask_bits} bits"
+            )
+        if self.min_size < 0:
+            raise ValueError("min_size must be non-negative")
+        if self.max_size is not None:
+            if self.max_size <= 0:
+                raise ValueError("max_size must be positive")
+            if self.max_size < self.min_size:
+                raise ValueError("max_size must be >= min_size")
+            if self.max_size < self.window_size:
+                raise ValueError("max_size must be >= window_size")
+
+    @property
+    def mask(self) -> int:
+        return (1 << self.mask_bits) - 1
+
+    @property
+    def expected_chunk_size(self) -> int:
+        """Expected chunk size for uniform random data, ignoring min/max."""
+        return 1 << self.mask_bits
+
+    def with_limits(self, min_size: int, max_size: int | None) -> "ChunkerConfig":
+        """Copy of this config with different min/max limits."""
+        return replace(self, min_size=min_size, max_size=max_size)
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One content-defined chunk of a stream.
+
+    ``offset`` is absolute within the stream; ``data`` holds the chunk
+    bytes and ``digest`` a collision-resistant hash of them (step 2 of the
+    duplicate-identification recipe in §2.1).
+    """
+
+    offset: int
+    length: int
+    data: bytes = field(repr=False)
+    digest: bytes = field(repr=False)
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.length
+
+    @staticmethod
+    def from_bytes(offset: int, data: bytes) -> "Chunk":
+        return Chunk(offset=offset, length=len(data), data=data, digest=chunk_hash(data))
+
+
+def select_cuts(
+    candidates: Sequence[int],
+    length: int,
+    min_size: int = 0,
+    max_size: int | None = None,
+) -> list[int]:
+    """Apply min/max chunk-size rules to candidate cuts (Store-thread logic).
+
+    ``candidates`` are sorted exclusive end offsets of marker windows in a
+    buffer of ``length`` bytes.  Per §2.1: after a boundary, the next
+    ``min_size`` bytes cannot end a chunk; a boundary is forced whenever
+    ``max_size`` bytes accumulate without a marker.  The final cut at
+    ``length`` closes the trailing partial chunk (which may be shorter
+    than ``min_size``).
+
+    Returns the selected cuts, ending with ``length``.  Empty input
+    (``length == 0``) yields no cuts.
+    """
+    if length == 0:
+        return []
+    cuts: list[int] = []
+    prev = 0
+    for cut in candidates:
+        if cut > length:
+            raise ValueError(f"candidate cut {cut} beyond buffer length {length}")
+        if max_size is not None:
+            while cut - prev > max_size:
+                prev += max_size
+                cuts.append(prev)
+        if cut - prev < min_size or cut == prev:
+            continue  # inside the skip region after the previous boundary
+        cuts.append(cut)
+        prev = cut
+    if max_size is not None:
+        while length - prev > max_size:
+            prev += max_size
+            cuts.append(prev)
+    if not cuts or cuts[-1] != length:
+        cuts.append(length)
+    return cuts
+
+
+def chunk_sizes(cuts: Iterable[int]) -> list[int]:
+    """Chunk lengths implied by a sorted cut list (first cut from offset 0)."""
+    sizes = []
+    prev = 0
+    for cut in cuts:
+        sizes.append(cut - prev)
+        prev = cut
+    return sizes
+
+
+def stream_chunks(
+    candidate_fn,
+    config: ChunkerConfig,
+    buffers: Iterable[bytes],
+    carry_limit: int = 1 << 26,
+) -> Iterator[Chunk]:
+    """Chunk a buffer stream so boundaries match whole-stream chunking.
+
+    Two pieces of state cross buffer boundaries:
+
+    * ``carry`` — bytes after the last emitted cut (the open chunk);
+    * ``context`` — the final ``window - 1`` *already emitted* bytes before
+      the carry, needed because a marker window may start inside the
+      previous chunk and end inside the carry.
+
+    ``candidate_fn(data) -> cuts`` supplies min/max-agnostic marker cuts
+    (e.g. ``Chunker.candidate_cuts`` or the SPMD host chunker's); min/max
+    selection runs here against the true previous boundary.
+
+    ``carry_limit`` bounds memory when no marker appears for a long
+    stretch: it acts as an implicit maximum chunk size (default 64 MiB).
+    """
+    w = config.window_size
+    carry = b""
+    context = b""
+    offset = 0
+    for buf in buffers:
+        data = carry + bytes(buf)
+        if not data:
+            continue
+        scan = context + data
+        shift = len(context)
+        candidates = [c - shift for c in candidate_fn(scan) if c > shift]
+        cuts = select_cuts(candidates, len(data), config.min_size, config.max_size)
+        # The final cut is usually an artifact of buffer truncation and is
+        # held back -- unless it is a real marker (or an exact max-size
+        # boundary), in which case whole-stream chunking would cut here too.
+        prev_selected = cuts[-2] if len(cuts) > 1 else 0
+        final_is_real = (cuts[-1] in set(candidates) and cuts[-1] - prev_selected >= config.min_size) or (
+            config.max_size is not None and cuts[-1] - prev_selected == config.max_size
+        )
+        emit = cuts if final_is_real else cuts[:-1]
+        prev = 0
+        for cut in emit:
+            yield Chunk.from_bytes(offset + prev, data[prev:cut])
+            prev = cut
+        carry = data[prev:]
+        # Bytes preceding the (new) carry start: whatever preceded this
+        # buffer plus everything emitted from it.  Keep the last w-1.
+        context = (context + data[:prev])[-(w - 1) :]
+        offset += prev
+        if len(carry) > carry_limit:
+            yield Chunk.from_bytes(offset, carry)
+            offset += len(carry)
+            context = (context + carry)[-(w - 1) :]
+            carry = b""
+    if carry:
+        yield Chunk.from_bytes(offset, carry)
+
+
+class Chunker:
+    """User-facing content-based chunker.
+
+    Combines an engine (marker scan) with boundary selection and hashing.
+
+    >>> chunker = Chunker()
+    >>> chunks = chunker.chunk(data)
+    >>> b"".join(c.data for c in chunks) == data
+    True
+    """
+
+    def __init__(
+        self,
+        config: ChunkerConfig | None = None,
+        engine: Engine | None = None,
+    ) -> None:
+        self.config = config or ChunkerConfig()
+        if engine is None:
+            if (
+                self.config.polynomial is None
+                and self.config.window_size == DEFAULT_WINDOW_SIZE
+            ):
+                engine = default_engine()
+            else:
+                fp = RabinFingerprinter(
+                    self.config.polynomial, self.config.window_size
+                )
+                engine = VectorEngine(fp) if self.config.window_size % 2 == 0 else SerialEngine(fp)
+        if engine.window_size != self.config.window_size:
+            raise ValueError(
+                f"engine window size {engine.window_size} != "
+                f"config window size {self.config.window_size}"
+            )
+        self.engine = engine
+
+    # -- boundary-level API -------------------------------------------------
+
+    def candidate_cuts(self, data: bytes) -> list[int]:
+        """Marker positions only, before min/max selection (GPU-kernel view)."""
+        return self.engine.candidate_cuts(data, self.config.mask, self.config.marker)
+
+    def cuts(self, data: bytes) -> list[int]:
+        """Selected exclusive cut offsets for ``data`` (ends with ``len(data)``)."""
+        return select_cuts(
+            self.candidate_cuts(data),
+            len(data),
+            self.config.min_size,
+            self.config.max_size,
+        )
+
+    # -- chunk-level API ----------------------------------------------------
+
+    def chunk(self, data: bytes, base_offset: int = 0) -> list[Chunk]:
+        """Chunk one in-memory buffer into hashed :class:`Chunk` records."""
+        chunks = []
+        prev = 0
+        for cut in self.cuts(data):
+            chunks.append(Chunk.from_bytes(base_offset + prev, data[prev:cut]))
+            prev = cut
+        return chunks
+
+    def chunk_stream(
+        self, buffers: Iterable[bytes], carry_limit: int = 1 << 26
+    ) -> Iterator[Chunk]:
+        """Chunk a stream of buffers with correct cross-buffer boundaries.
+
+        Produces exactly the chunks that chunking the concatenated stream
+        would.  See :func:`stream_chunks` for the carry/context mechanics.
+        """
+        return stream_chunks(
+            self.candidate_cuts, self.config, buffers, carry_limit=carry_limit
+        )

@@ -1,0 +1,80 @@
+"""Chunk matching (step 3 of duplicate identification, §2.1).
+
+A minimal in-memory dedup index: maps chunk digests to stored-chunk
+metadata and answers "is this chunk new?".  Both case studies build on
+this — the backup server (§7) feeds digests through a lookup queue and
+ships either chunk data or a pointer, and Inc-HDFS (§6) uses digests as
+memoization keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.chunking import Chunk
+
+__all__ = ["DedupIndex", "DedupStats"]
+
+
+@dataclass
+class DedupStats:
+    """Running dedup effectiveness counters."""
+
+    total_chunks: int = 0
+    unique_chunks: int = 0
+    total_bytes: int = 0
+    unique_bytes: int = 0
+
+    @property
+    def duplicate_chunks(self) -> int:
+        return self.total_chunks - self.unique_chunks
+
+    @property
+    def duplicate_bytes(self) -> int:
+        return self.total_bytes - self.unique_bytes
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Fraction of bytes eliminated (0 when nothing was seen)."""
+        if self.total_bytes == 0:
+            return 0.0
+        return self.duplicate_bytes / self.total_bytes
+
+
+@dataclass
+class DedupIndex:
+    """Digest -> first-seen chunk location index.
+
+    ``lookup_or_insert`` returns ``(is_duplicate, canonical_offset)``:
+    duplicates report the offset at which the content was first stored.
+    """
+
+    _index: dict[bytes, int] = field(default_factory=dict)
+    stats: DedupStats = field(default_factory=DedupStats)
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, digest: bytes) -> bool:
+        return digest in self._index
+
+    def lookup(self, digest: bytes) -> int | None:
+        """Offset of the canonical copy, or ``None`` if unseen."""
+        return self._index.get(digest)
+
+    def lookup_or_insert(self, chunk: Chunk) -> tuple[bool, int]:
+        self.stats.total_chunks += 1
+        self.stats.total_bytes += chunk.length
+        existing = self._index.get(chunk.digest)
+        if existing is not None:
+            return True, existing
+        self._index[chunk.digest] = chunk.offset
+        self.stats.unique_chunks += 1
+        self.stats.unique_bytes += chunk.length
+        return False, chunk.offset
+
+    def add_all(self, chunks) -> DedupStats:
+        """Feed a chunk sequence through the index; returns the stats."""
+        for chunk in chunks:
+            self.lookup_or_insert(chunk)
+        return self.stats

@@ -1,0 +1,146 @@
+"""Polynomial arithmetic over GF(2).
+
+Polynomials are represented as Python integers: bit ``i`` is the
+coefficient of ``x**i``.  This is the substrate for Rabin fingerprinting
+(Rabin, 1981): a fingerprint is the residue of the data polynomial modulo
+a fixed irreducible polynomial.
+
+All functions are pure and operate on arbitrary-degree polynomials; the
+fingerprinting hot path in :mod:`repro.core.rabin` uses precomputed tables
+instead of calling these per byte.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = [
+    "degree",
+    "multiply",
+    "mod",
+    "multiply_mod",
+    "pow_mod",
+    "gcd",
+    "is_irreducible",
+    "find_irreducible",
+    "DEFAULT_IRREDUCIBLE_DEGREE",
+]
+
+#: Degree used for the default fingerprinting polynomial.  LBFS and most
+#: deduplication systems use degree 53 so that fingerprints fit in 64 bits
+#: with room for the 8-bit shift performed while rolling.
+DEFAULT_IRREDUCIBLE_DEGREE = 53
+
+
+def degree(poly: int) -> int:
+    """Return the degree of ``poly`` (-1 for the zero polynomial)."""
+    return poly.bit_length() - 1
+
+
+def multiply(a: int, b: int) -> int:
+    """Carry-less (GF(2)) product of two polynomials."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a <<= 1
+        b >>= 1
+    return result
+
+
+def mod(a: int, m: int) -> int:
+    """Residue of ``a`` modulo ``m`` over GF(2).
+
+    ``m`` must be non-zero.  Long division: repeatedly cancel the leading
+    term of ``a`` with a shifted copy of ``m``.
+    """
+    if m == 0:
+        raise ZeroDivisionError("polynomial modulus is zero")
+    deg_m = degree(m)
+    deg_a = degree(a)
+    while deg_a >= deg_m:
+        a ^= m << (deg_a - deg_m)
+        deg_a = degree(a)
+    return a
+
+
+def multiply_mod(a: int, b: int, m: int) -> int:
+    """Return ``(a * b) mod m`` over GF(2)."""
+    return mod(multiply(a, b), m)
+
+
+def pow_mod(base: int, exponent: int, m: int) -> int:
+    """Return ``base ** exponent mod m`` over GF(2) by square-and-multiply."""
+    result = 1
+    base = mod(base, m)
+    while exponent:
+        if exponent & 1:
+            result = multiply_mod(result, base, m)
+        base = multiply_mod(base, base, m)
+        exponent >>= 1
+    return result
+
+
+def gcd(a: int, b: int) -> int:
+    """Greatest common divisor of two GF(2) polynomials."""
+    while b:
+        a, b = b, mod(a, b)
+    return a
+
+
+def _prime_factors(n: int) -> list[int]:
+    factors = []
+    d = 2
+    while d * d <= n:
+        if n % d == 0:
+            factors.append(d)
+            while n % d == 0:
+                n //= d
+        d += 1
+    if n > 1:
+        factors.append(n)
+    return factors
+
+
+def is_irreducible(poly: int) -> bool:
+    """Rabin's irreducibility test for a GF(2) polynomial.
+
+    ``poly`` of degree ``n`` is irreducible iff ``x**(2**n) == x (mod poly)``
+    and, for every prime divisor ``q`` of ``n``,
+    ``gcd(x**(2**(n//q)) - x, poly) == 1``.
+    """
+    n = degree(poly)
+    if n <= 0:
+        return False
+    x = 0b10
+    # x**(2**k) is computed by squaring x k times.
+    def x_pow_pow2(k: int) -> int:
+        acc = x
+        for _ in range(k):
+            acc = multiply_mod(acc, acc, poly)
+        return acc
+
+    for q in _prime_factors(n):
+        h = x_pow_pow2(n // q) ^ x
+        if gcd(h, poly) != 1:
+            return False
+    return x_pow_pow2(n) == mod(x, poly)
+
+
+def find_irreducible(deg: int = DEFAULT_IRREDUCIBLE_DEGREE, seed: int = 2012) -> int:
+    """Find a random irreducible polynomial of degree ``deg``.
+
+    The search is deterministic for a given ``seed`` so that every component
+    of the system (host chunker, GPU kernel, tests) agrees on the default
+    polynomial.  About one in ``deg`` odd polynomials of degree ``deg`` is
+    irreducible, so the expected number of trials is small.
+    """
+    rng = random.Random(seed)
+    while True:
+        # Leading term x**deg, constant term 1 (required: otherwise x | poly).
+        candidate = (1 << deg) | 1
+        for bit in range(1, deg):
+            if rng.random() < 0.5:
+                candidate |= 1 << bit
+        if is_irreducible(candidate):
+            return candidate

@@ -1,0 +1,32 @@
+"""Chunk hashing (step 2 of duplicate identification, §2.1).
+
+After chunk boundaries are found, each chunk is hashed with a
+collision-resistant function; the digest is the key used by the matching
+step (dedup index, memoization server).  SHA-1 was typical of systems of
+the paper's era (LBFS, Venti); SHA-256 is the default here.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import zlib
+
+__all__ = ["chunk_hash", "short_hash", "weak_checksum", "HASH_SIZE"]
+
+#: Size in bytes of the digest returned by :func:`chunk_hash`.
+HASH_SIZE = 32
+
+
+def chunk_hash(data: bytes) -> bytes:
+    """Collision-resistant digest of a chunk (SHA-256, 32 bytes)."""
+    return hashlib.sha256(data).digest()
+
+
+def short_hash(data: bytes) -> int:
+    """64-bit truncation of :func:`chunk_hash`, for compact in-memory keys."""
+    return int.from_bytes(chunk_hash(data)[:8], "big")
+
+
+def weak_checksum(data: bytes) -> int:
+    """Fast 32-bit checksum (CRC32) used for cheap pre-filtering in indexes."""
+    return zlib.crc32(data) & 0xFFFFFFFF

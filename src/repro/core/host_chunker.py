@@ -1,0 +1,156 @@
+"""Host-only parallel content-based chunking (§5.1).
+
+The paper's CPU baseline: POSIX-thread SPMD chunking.  The input is
+divided into fixed-size regions, each thread runs the Rabin chunking scan
+over its region (overlapping ``window - 1`` bytes into the neighbour so
+no boundary straddling a region edge is missed), and neighbouring results
+are merged.
+
+Two parts:
+
+* a *real* parallel scan (``ThreadPoolExecutor`` over the NumPy engine,
+  which releases the GIL in its gather loops) whose merged output is
+  bit-identical to a sequential scan — this is the correctness-critical
+  algorithm;
+* a *cost model* reproducing the effect the paper measures in Fig. 12:
+  with glibc ``malloc``, per-chunk allocations serialize on a global lock
+  and throttle all 12 threads; the Hoard allocator removes the
+  contention.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.core.chunking import Chunk, Chunker, ChunkerConfig, select_cuts
+from repro.core.engines import Engine, default_engine
+from repro.gpu.specs import HostSpec, XEON_X5650_HOST
+
+__all__ = ["AllocatorModel", "MALLOC", "HOARD", "HostParallelChunker"]
+
+
+@dataclass(frozen=True)
+class AllocatorModel:
+    """Cost model for per-chunk dynamic allocation under contention.
+
+    ``per_alloc_seconds`` is the uncontended cost of one allocation;
+    ``contention(threads)`` multiplies it when several chunking threads
+    allocate concurrently.  glibc ``malloc`` serializes on an arena lock
+    (§5.1: "dynamic memory allocation can become a bottleneck due to the
+    serialization required to avoid race conditions"); Hoard gives each
+    thread its own heap.
+    """
+
+    name: str
+    per_alloc_seconds: float
+    lock_serialization: float  # fraction of allocations hitting the global lock
+
+    def contention(self, threads: int) -> float:
+        if threads < 1:
+            raise ValueError("threads must be >= 1")
+        return 1.0 + self.lock_serialization * (threads - 1)
+
+
+MALLOC = AllocatorModel("malloc", per_alloc_seconds=1e-6, lock_serialization=0.5)
+HOARD = AllocatorModel("hoard", per_alloc_seconds=1e-6, lock_serialization=0.01)
+
+
+class HostParallelChunker:
+    """SPMD parallel chunker with neighbour merge (the pthreads library).
+
+    Parameters mirror the paper's setup: 12 threads on the Xeon host,
+    optional Hoard allocator.
+    """
+
+    def __init__(
+        self,
+        config: ChunkerConfig | None = None,
+        threads: int = 12,
+        allocator: AllocatorModel = HOARD,
+        engine: Engine | None = None,
+        host: HostSpec = XEON_X5650_HOST,
+    ) -> None:
+        if threads < 1:
+            raise ValueError(f"threads must be >= 1, got {threads}")
+        self.config = config or ChunkerConfig()
+        self.threads = threads
+        self.allocator = allocator
+        self.engine = engine or default_engine()
+        self.host = host
+        if self.engine.window_size != self.config.window_size:
+            raise ValueError("engine window size does not match chunker config")
+
+    # -- real parallel algorithm --------------------------------------------
+
+    def _region_cuts(self, data: bytes, start: int, end: int) -> list[int]:
+        """Candidate cuts ``c`` with ``start < c <= end``.
+
+        Scans ``data[max(0, start - w + 1) : end]`` so that every window
+        ending inside ``(start, end]`` is evaluated exactly once; this is
+        the w-byte overlap near partition boundaries described in §2.1.
+        """
+        w = self.config.window_size
+        lo = max(0, start - w + 1)
+        slice_ = data[lo:end]
+        cuts = self.engine.candidate_cuts(slice_, self.config.mask, self.config.marker)
+        return [lo + c for c in cuts if start < lo + c <= end]
+
+    def candidate_cuts(self, data: bytes) -> list[int]:
+        """Marker positions found by the SPMD scan (merged, sorted)."""
+        n = len(data)
+        if n == 0:
+            return []
+        region = max(1, (n + self.threads - 1) // self.threads)
+        bounds = [(i, min(i + region, n)) for i in range(0, n, region)]
+        if len(bounds) == 1:
+            return self._region_cuts(data, 0, n)
+        with ThreadPoolExecutor(max_workers=self.threads) as pool:
+            parts = list(pool.map(lambda b: self._region_cuts(data, *b), bounds))
+        merged: list[int] = []
+        for part in parts:  # regions are disjoint and ordered
+            merged.extend(part)
+        return merged
+
+    def cuts(self, data: bytes) -> list[int]:
+        """Selected cut offsets after min/max rules (synchronized merge)."""
+        return select_cuts(
+            self.candidate_cuts(data), len(data), self.config.min_size, self.config.max_size
+        )
+
+    def chunk(self, data: bytes, base_offset: int = 0) -> list[Chunk]:
+        chunks = []
+        prev = 0
+        for cut in self.cuts(data):
+            chunks.append(Chunk.from_bytes(base_offset + prev, data[prev:cut]))
+            prev = cut
+        return chunks
+
+    # -- cost model (Fig. 12 CPU bars) ---------------------------------------
+
+    def estimate_seconds(self, n_bytes: int, n_chunks: int | None = None) -> float:
+        """Modeled wall time to chunk ``n_bytes`` on the host.
+
+        Scan cost scales with per-core fingerprinting bandwidth; each
+        emitted chunk costs one allocation under the configured allocator's
+        contention model.  A small merge/synchronization term covers the
+        neighbour-merge barrier.
+        """
+        if n_bytes < 0:
+            raise ValueError("n_bytes must be non-negative")
+        if n_chunks is None:
+            n_chunks = max(1, n_bytes // self.config.expected_chunk_size)
+        scan = n_bytes / (self.host.core_chunking_bandwidth * self.threads)
+        alloc = n_chunks * self.allocator.per_alloc_seconds * self.allocator.contention(
+            self.threads
+        )
+        merge = self.threads * 5e-6
+        return scan + alloc + merge
+
+    def throughput_bps(self, n_bytes: int = 1 << 30) -> float:
+        """Modeled chunking bandwidth (bytes/s) for an ``n_bytes`` stream."""
+        return n_bytes / self.estimate_seconds(n_bytes)
+
+    def sequential_reference(self, data: bytes) -> list[Chunk]:
+        """Single-threaded chunking with the same config (for verification)."""
+        return Chunker(self.config, self.engine).chunk(data)

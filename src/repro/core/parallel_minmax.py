@@ -1,0 +1,141 @@
+"""Parallel min/max boundary selection (the paper's first future-work item).
+
+§9: "we would like to incorporate into the library several optimizations
+for parallel content-based chunking [31, 33]" — the Lillibridge patents
+on producing chunks with min/max limits *in parallel* rather than by the
+Store thread's sequential post-filter.
+
+The sequential rule is a left-to-right greedy (``select_cuts``): from the
+previous cut ``p``, the next cut is the first candidate in
+``[p + min, p + max]``, else a forced cut at ``p + max``.  Two
+observations make this parallelizable:
+
+1.  Between two *candidate* cuts the forced cuts are a pure arithmetic
+    progression (``p + max, p + 2*max, ...``), so the selection process
+    is fully described by a **candidate-to-candidate jump function**
+    ``J(c)`` — the next candidate selected after a cut at ``c`` — plus
+    the count of forced cuts in between.
+
+2.  ``J`` depends only on the static candidate list, so all jumps can be
+    computed independently, one binary search each — this is the
+    data-parallel phase the patents distribute over "a plurality of
+    processing elements".
+
+The final walk over ``J`` touches only *selected* cuts (``O(n/min)``)
+instead of every candidate, and the expensive per-candidate work runs on
+a thread pool.  Output is bit-identical to :func:`select_cuts`
+(property-tested).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["Jump", "compute_jumps", "parallel_select_cuts"]
+
+
+@dataclass(frozen=True)
+class Jump:
+    """Selection step starting from a cut at ``source``.
+
+    ``forced`` holds the arithmetic-progression cuts emitted before
+    ``target``; ``target`` is the next *candidate* cut selected, or
+    ``None`` when no further candidate is ever selected from here.
+    """
+
+    source: int
+    forced: tuple[int, ...]
+    target: int | None
+
+
+def _jump_from(
+    p: int, candidates: Sequence[int], length: int, min_size: int, max_size: int | None
+) -> Jump:
+    """The greedy step(s) from a cut at ``p`` to the next candidate cut."""
+    source = p
+    forced: list[int] = []
+    while True:
+        lo = bisect_left(candidates, p + max(min_size, 1))
+        nxt = candidates[lo] if lo < len(candidates) else None
+        if max_size is None:
+            return Jump(source, tuple(forced), nxt)
+        if nxt is not None and nxt - p <= max_size:
+            return Jump(source, tuple(forced), nxt)
+        if p + max_size >= length:
+            return Jump(source, tuple(forced), None)
+        p += max_size
+        forced.append(p)
+
+
+def compute_jumps(
+    candidates: Sequence[int],
+    length: int,
+    min_size: int,
+    max_size: int | None,
+    workers: int = 4,
+) -> dict[int, Jump]:
+    """Data-parallel phase: one jump per candidate (plus the origin).
+
+    Each jump is independent, so the candidate list is sharded across
+    ``workers`` threads exactly as the patents shard input ranges across
+    processing elements.
+    """
+    sources = [0] + [c for c in candidates if c < length]
+
+    def shard(items: Sequence[int]) -> list[Jump]:
+        return [
+            _jump_from(p, candidates, length, min_size, max_size) for p in items
+        ]
+
+    if workers <= 1 or len(sources) < 32:
+        jumps = shard(sources)
+    else:
+        size = -(-len(sources) // workers)
+        shards = [sources[i : i + size] for i in range(0, len(sources), size)]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            jumps = [j for part in pool.map(shard, shards) for j in part]
+    return {j.source: j for j in jumps}
+
+
+def parallel_select_cuts(
+    candidates: Sequence[int],
+    length: int,
+    min_size: int = 0,
+    max_size: int | None = None,
+    workers: int = 4,
+) -> list[int]:
+    """min/max selection via parallel jump precomputation.
+
+    Bit-identical to :func:`repro.core.chunking.select_cuts`; the
+    sequential remainder is a walk over precomputed jumps touching only
+    the selected cuts.
+    """
+    if length == 0:
+        return []
+    for i in range(1, len(candidates)):
+        if candidates[i - 1] > candidates[i]:
+            raise ValueError("candidates must be sorted")
+    if candidates and candidates[-1] > length:
+        raise ValueError(
+            f"candidate cut {candidates[-1]} beyond buffer length {length}"
+        )
+    jumps = compute_jumps(candidates, length, min_size, max_size, workers)
+    cuts: list[int] = []
+    p = 0
+    while True:
+        jump = jumps.get(p)
+        if jump is None:  # entered a state outside the precomputed set
+            jump = _jump_from(p, candidates, length, min_size, max_size)
+        cuts.extend(jump.forced)
+        if jump.target is None:
+            break
+        cuts.append(jump.target)
+        p = jump.target
+    # The final jump already emitted any trailing forced cuts; close the
+    # tail with the end-of-buffer cut exactly like the sequential rule.
+    if not cuts or cuts[-1] != length:
+        cuts.append(length)
+    return cuts

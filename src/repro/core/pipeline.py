@@ -1,0 +1,119 @@
+"""Generic multi-stage streaming pipeline (§4.2, Fig. 8).
+
+Real threaded infrastructure used by the Shredder host driver: each stage
+runs on its own worker thread (mirroring the Reader / Transfer / Kernel /
+Store threads of the paper), connected by bounded queues whose combined
+depth plays the role of the pinned ring buffer, limiting in-flight
+buffers.  Results are delivered in input order.
+
+Timing *models* of pipelining live in :mod:`repro.gpu.timeline`; this
+module moves real data.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+__all__ = ["Stage", "StreamingPipeline", "PipelineError"]
+
+_SENTINEL = object()
+
+
+class PipelineError(RuntimeError):
+    """A stage raised; carries the original exception as ``__cause__``."""
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One pipeline stage: a name and a function applied to each item."""
+
+    name: str
+    fn: Callable[[Any], Any]
+
+
+class StreamingPipeline:
+    """Run items through stages concurrently, preserving order.
+
+    >>> pipe = StreamingPipeline([Stage("double", lambda x: 2 * x),
+    ...                           Stage("inc", lambda x: x + 1)])
+    >>> pipe.run(range(5))
+    [1, 3, 5, 7, 9]
+
+    ``max_in_flight`` bounds the number of items admitted but not yet
+    finished (the paper's restriction on buffers admitted to the
+    pipeline, used to vary pipeline depth in Fig. 9).
+    """
+
+    def __init__(self, stages: Sequence[Stage], max_in_flight: int = 4) -> None:
+        if not stages:
+            raise ValueError("pipeline needs at least one stage")
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        self.stages = list(stages)
+        self.max_in_flight = max_in_flight
+
+    def run(self, items: Iterable[Any]) -> list[Any]:
+        """Process ``items`` through every stage; returns ordered results."""
+        n_stages = len(self.stages)
+        queues: list[queue.Queue] = [
+            queue.Queue(maxsize=max(1, self.max_in_flight)) for _ in range(n_stages + 1)
+        ]
+        errors: list[BaseException] = []
+        error_lock = threading.Lock()
+        stop = threading.Event()
+
+        def worker(stage: Stage, inq: queue.Queue, outq: queue.Queue) -> None:
+            while True:
+                item = inq.get()
+                if item is _SENTINEL:
+                    outq.put(_SENTINEL)
+                    return
+                if stop.is_set():
+                    continue  # drain without processing after a failure
+                try:
+                    outq.put(stage.fn(item))
+                except BaseException as exc:  # propagate to caller
+                    with error_lock:
+                        errors.append(exc)
+                    stop.set()
+
+        threads = [
+            threading.Thread(
+                target=worker,
+                args=(stage, queues[i], queues[i + 1]),
+                name=f"pipeline-{stage.name}",
+                daemon=True,
+            )
+            for i, stage in enumerate(self.stages)
+        ]
+        for t in threads:
+            t.start()
+
+        results: list[Any] = []
+        outq = queues[-1]
+
+        def feeder() -> None:
+            for item in items:
+                if stop.is_set():
+                    break
+                queues[0].put(item)
+            queues[0].put(_SENTINEL)
+
+        feed_thread = threading.Thread(target=feeder, name="pipeline-feeder", daemon=True)
+        feed_thread.start()
+
+        while True:
+            out = outq.get()
+            if out is _SENTINEL:
+                break
+            results.append(out)
+
+        feed_thread.join()
+        for t in threads:
+            t.join()
+        if errors:
+            raise PipelineError(f"stage failed: {errors[0]!r}") from errors[0]
+        return results

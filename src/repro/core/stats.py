@@ -1,0 +1,54 @@
+"""Chunk-size and dedup statistics helpers."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.chunking import Chunk
+
+__all__ = ["SizeStats", "size_stats", "dedup_ratio", "unique_bytes"]
+
+
+@dataclass(frozen=True)
+class SizeStats:
+    """Summary statistics of a chunk-size distribution."""
+
+    count: int
+    total: int
+    mean: float
+    stdev: float
+    minimum: int
+    maximum: int
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        return self.stdev / self.mean if self.mean else 0.0
+
+
+def size_stats(sizes: Sequence[int]) -> SizeStats:
+    """Summary of a list of chunk sizes."""
+    if not sizes:
+        return SizeStats(0, 0, 0.0, 0.0, 0, 0)
+    n = len(sizes)
+    total = sum(sizes)
+    mean = total / n
+    var = sum((s - mean) ** 2 for s in sizes) / n
+    return SizeStats(n, total, mean, math.sqrt(var), min(sizes), max(sizes))
+
+
+def unique_bytes(chunks: Iterable[Chunk]) -> int:
+    """Bytes after dedup: each distinct digest counted once."""
+    seen: dict[bytes, int] = {}
+    for chunk in chunks:
+        seen.setdefault(chunk.digest, chunk.length)
+    return sum(seen.values())
+
+
+def dedup_ratio(chunks: Sequence[Chunk]) -> float:
+    """Fraction of bytes eliminated by dedup over a chunk sequence."""
+    total = sum(c.length for c in chunks)
+    if total == 0:
+        return 0.0
+    return 1.0 - unique_bytes(chunks) / total

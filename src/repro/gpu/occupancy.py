@@ -1,0 +1,92 @@
+"""SM occupancy model: how many thread blocks fit per multiprocessor.
+
+The chunking kernel's latency hiding depends on how many warps an SM can
+keep resident, which is bounded by three per-SM resources (§2.2): the
+register file, the shared memory, and the hardware block/warp slots.
+CUDA's occupancy calculator logic, reduced to what the C2050 exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.specs import GPUSpec, TESLA_C2050
+
+__all__ = ["KernelResources", "Occupancy", "occupancy"]
+
+#: Fermi hardware limits not in Table 1.
+MAX_BLOCKS_PER_SM = 8
+MAX_WARPS_PER_SM = 48
+SHARED_MEMORY_GRANULARITY = 128
+REGISTER_GRANULARITY = 64
+
+
+@dataclass(frozen=True)
+class KernelResources:
+    """Per-kernel resource usage.
+
+    Defaults describe the chunking kernel: ~20 registers per thread for
+    the unrolled Rabin roll, and a full 48 KB shared-memory tile per
+    block when the coalesced fetch is enabled.
+    """
+
+    threads_per_block: int = 128
+    registers_per_thread: int = 20
+    shared_memory_per_block: int = 48 * 1024
+
+    def __post_init__(self) -> None:
+        if self.threads_per_block < 1:
+            raise ValueError("threads_per_block must be >= 1")
+        if self.registers_per_thread < 1:
+            raise ValueError("registers_per_thread must be >= 1")
+        if self.shared_memory_per_block < 0:
+            raise ValueError("shared memory cannot be negative")
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Resolved occupancy for one kernel on one GPU."""
+
+    blocks_per_sm: int
+    warps_per_sm: int
+    limiting_resource: str
+
+    @property
+    def occupancy_fraction(self) -> float:
+        return self.warps_per_sm / MAX_WARPS_PER_SM
+
+
+def _round_up(value: int, granularity: int) -> int:
+    return -(-value // granularity) * granularity
+
+
+def occupancy(
+    resources: KernelResources, gpu: GPUSpec = TESLA_C2050
+) -> Occupancy:
+    """Blocks/warps resident per SM and the resource that limits them."""
+    warps_per_block = -(-resources.threads_per_block // gpu.warp_size)
+
+    limits = {"block slots": MAX_BLOCKS_PER_SM}
+    limits["warp slots"] = MAX_WARPS_PER_SM // warps_per_block
+
+    regs_per_block = _round_up(
+        resources.registers_per_thread * resources.threads_per_block,
+        REGISTER_GRANULARITY,
+    )
+    limits["registers"] = (
+        gpu.registers_per_sm // regs_per_block if regs_per_block else MAX_BLOCKS_PER_SM
+    )
+
+    if resources.shared_memory_per_block:
+        smem = _round_up(resources.shared_memory_per_block, SHARED_MEMORY_GRANULARITY)
+        limits["shared memory"] = gpu.shared_memory_per_sm // smem
+    else:
+        limits["shared memory"] = MAX_BLOCKS_PER_SM
+
+    limiting = min(limits, key=limits.get)
+    blocks = max(0, limits[limiting])
+    return Occupancy(
+        blocks_per_sm=blocks,
+        warps_per_sm=blocks * warps_per_block,
+        limiting_resource=limiting,
+    )

@@ -1,0 +1,167 @@
+"""Execution timelines: serialized vs overlapped copy/compute (§4.1-§4.2).
+
+Three schedulers over per-buffer phase costs:
+
+* :func:`serialized_schedule` — the basic design (Fig. 2): every phase of
+  every buffer runs back-to-back;
+* :func:`double_buffered_schedule` — §4.1.1 concurrent copy & execution
+  with twin device buffers (Fig. 4/5): the DMA engine fills one buffer
+  while the kernel consumes the other;
+* :func:`pipeline_schedule` — §4.2 multi-stage streaming pipeline
+  (Fig. 8/9): Reader → Transfer → Kernel → Store with a bounded number of
+  in-flight buffers.
+
+Also computes the host spare cycles of Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.gpu.specs import HostSpec, XEON_X5650_HOST
+
+__all__ = [
+    "PhaseCosts",
+    "ScheduleResult",
+    "serialized_schedule",
+    "double_buffered_schedule",
+    "pipeline_schedule",
+    "spare_host_cycles",
+]
+
+
+@dataclass(frozen=True)
+class PhaseCosts:
+    """Per-buffer durations (seconds) of the four Shredder stages."""
+
+    read: float
+    transfer: float
+    kernel: float
+    store: float
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        return (self.read, self.transfer, self.kernel, self.store)
+
+    @property
+    def total(self) -> float:
+        return self.read + self.transfer + self.kernel + self.store
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Outcome of scheduling ``n`` buffers."""
+
+    total_seconds: float
+    n_buffers: int
+    #: Seconds during which a copy and a kernel were running concurrently
+    #: (the overlap highlighted in Fig. 5).
+    overlap_seconds: float = 0.0
+
+
+def serialized_schedule(phases: Sequence[PhaseCosts]) -> ScheduleResult:
+    """Basic design: strictly sequential execution of every phase."""
+    return ScheduleResult(sum(p.total for p in phases), len(phases))
+
+
+def double_buffered_schedule(
+    phases: Sequence[PhaseCosts], device_buffers: int = 2
+) -> ScheduleResult:
+    """Concurrent copy and execution with ``device_buffers`` twin buffers.
+
+    Read and store still run serially on the host thread (that is what
+    §4.2 fixes), but the async H2D copy of buffer ``i+1`` overlaps the
+    kernel on buffer ``i``.  The copy engine and the compute engine are
+    each exclusive resources; a device buffer slot is reused only after
+    its kernel finished.
+    """
+    if device_buffers < 1:
+        raise ValueError("need at least one device buffer")
+    n = len(phases)
+    if n == 0:
+        return ScheduleResult(0.0, 0)
+    copy_free = 0.0
+    kernel_free = 0.0
+    host_t = 0.0
+    kernel_done: list[float] = []
+    # Single host thread: read i, issue async copy+kernel for i (the issue
+    # itself is free at this resolution), then store results of buffer i-1
+    # once its kernel completed.  The async copy of buffer i+1 thereby
+    # overlaps the kernel of buffer i — the Fig. 4 timeline.
+    for i, p in enumerate(phases):
+        host_t += p.read
+        slot_free = kernel_done[i - device_buffers] if i >= device_buffers else 0.0
+        copy_start = max(host_t, copy_free, slot_free)
+        copy_done = copy_start + p.transfer
+        copy_free = copy_done
+        kernel_start = max(copy_done, kernel_free)
+        kernel_free = kernel_start + p.kernel
+        kernel_done.append(kernel_free)
+        if i >= 1:
+            host_t = max(host_t, kernel_done[i - 1]) + phases[i - 1].store
+    host_t = max(host_t, kernel_done[-1]) + phases[-1].store
+
+    # Realized overlap = serial span minus concurrent span (Fig. 5 shows
+    # this as the histogram overlap between Transfer and Kernel).
+    serial = sum(p.total for p in phases)
+    total = host_t
+    return ScheduleResult(total, n, max(0.0, serial - total))
+
+
+def pipeline_schedule(
+    phases: Sequence[PhaseCosts], stages: int = 4, max_in_flight: int | None = None
+) -> ScheduleResult:
+    """Multi-stage streaming pipeline (§4.2).
+
+    ``stages`` controls how many of the four stages run on their own
+    resource: with ``stages=1`` everything is serialized; with 4, Reader,
+    Transfer, Kernel and Store each pipeline independently.  Stages beyond
+    ``stages`` are fused with the last independent resource, matching the
+    paper's experiment of admitting a limited number of simultaneous
+    pipeline stages (Fig. 9).  ``max_in_flight`` bounds admitted buffers
+    (defaults to ``stages``, the ring-buffer depth of §4.1.2).
+    """
+    if not 1 <= stages <= 4:
+        raise ValueError(f"stages must be in [1, 4], got {stages}")
+    if max_in_flight is None:
+        max_in_flight = stages
+    if max_in_flight < 1:
+        raise ValueError("max_in_flight must be >= 1")
+
+    # Assign the 4 logical phases to `stages` resources (fuse the tail).
+    resource_of_phase = [min(p, stages - 1) for p in range(4)]
+    durations = [p.as_tuple() for p in phases]
+
+    n = len(phases)
+    finish = [[0.0] * 4 for _ in range(n)]
+    resource_free = [0.0] * stages
+    last_finish: list[float] = []
+    for i in range(n):
+        for phase in range(4):
+            res = resource_of_phase[phase]
+            prev_phase_done = finish[i][phase - 1] if phase else 0.0
+            admission = 0.0
+            if phase == 0 and i >= max_in_flight:
+                admission = last_finish[i - max_in_flight]
+            start = max(prev_phase_done, resource_free[res], admission)
+            finish[i][phase] = start + durations[i][phase]
+            resource_free[res] = finish[i][phase]
+        last_finish.append(finish[i][3])
+    total = last_finish[-1] if n else 0.0
+    serial = sum(p.total for p in phases)
+    return ScheduleResult(total, n, max(0.0, serial - total))
+
+
+def spare_host_cycles(
+    device_exec_seconds: float,
+    launch_seconds: float,
+    host: HostSpec = XEON_X5650_HOST,
+) -> float:
+    """Idle host cycles per core while the device works (Table 2).
+
+    After launching the async copy + kernel (which costs only
+    ``launch_seconds`` on the host), the host core is idle for the rest of
+    the device execution; RDTSC would count these ticks.
+    """
+    idle = max(0.0, device_exec_seconds - launch_seconds)
+    return idle * host.clock_hz

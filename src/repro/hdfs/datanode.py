@@ -1,0 +1,62 @@
+"""DataNode: stores block replicas (in memory) for the simulated cluster."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hdfs.errors import BlockNotFound, DataNodeDown
+
+__all__ = ["DataNode"]
+
+
+@dataclass
+class DataNode:
+    """One storage node.
+
+    Blocks are immutable byte strings keyed by block id.  ``fail()`` /
+    ``recover()`` support failure-injection tests; a failed node rejects
+    all I/O but keeps its data (as a crashed-but-recoverable machine
+    would).
+    """
+
+    node_id: int
+    _blocks: dict[int, bytes] = field(default_factory=dict)
+    alive: bool = True
+
+    def _check_alive(self) -> None:
+        if not self.alive:
+            raise DataNodeDown(f"datanode {self.node_id} is down")
+
+    def store_block(self, block_id: int, data: bytes) -> None:
+        self._check_alive()
+        self._blocks[block_id] = bytes(data)
+
+    def read_block(self, block_id: int) -> bytes:
+        self._check_alive()
+        try:
+            return self._blocks[block_id]
+        except KeyError:
+            raise BlockNotFound(
+                f"block {block_id} not on datanode {self.node_id}"
+            ) from None
+
+    def has_block(self, block_id: int) -> bool:
+        return block_id in self._blocks
+
+    def delete_block(self, block_id: int) -> None:
+        self._check_alive()
+        self._blocks.pop(block_id, None)
+
+    def fail(self) -> None:
+        self.alive = False
+
+    def recover(self) -> None:
+        self.alive = True
+
+    @property
+    def block_count(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(len(b) for b in self._blocks.values())

@@ -1,0 +1,36 @@
+"""Error types for the in-process HDFS cluster."""
+
+from __future__ import annotations
+
+__all__ = [
+    "HDFSError",
+    "FileNotFoundInHDFS",
+    "FileAlreadyExists",
+    "BlockNotFound",
+    "NoDataNodes",
+    "DataNodeDown",
+]
+
+
+class HDFSError(Exception):
+    """Base class for all HDFS errors."""
+
+
+class FileNotFoundInHDFS(HDFSError):
+    """The requested path does not exist in the namespace."""
+
+
+class FileAlreadyExists(HDFSError):
+    """Creating a path that already exists."""
+
+
+class BlockNotFound(HDFSError):
+    """A block id is unknown to the datanode or namenode."""
+
+
+class NoDataNodes(HDFSError):
+    """The cluster has no registered (live) datanodes."""
+
+
+class DataNodeDown(HDFSError):
+    """Operation routed to a datanode that is marked failed."""

@@ -1,0 +1,20 @@
+"""Incremental MapReduce (Incoop) over Inc-HDFS."""
+
+from repro.mapreduce.incoop import IncoopRuntime
+from repro.mapreduce.job import MapReduceJob, text_input_format
+from repro.mapreduce.memo import MemoServer, memo_key, params_digest
+from repro.mapreduce.scheduler import AffinityScheduler, ScheduleOutcome
+from repro.mapreduce.runtime import (
+    ClusterModel,
+    MapReduceRuntime,
+    RunResult,
+    RunStats,
+    partition_of,
+)
+
+__all__ = [
+    "IncoopRuntime", "MapReduceJob", "text_input_format",
+    "MemoServer", "memo_key", "params_digest",
+    "ClusterModel", "MapReduceRuntime", "RunResult", "RunStats", "partition_of",
+    "AffinityScheduler", "ScheduleOutcome",
+]

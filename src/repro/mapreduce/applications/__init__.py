@@ -1,0 +1,19 @@
+"""The three Fig. 15 MapReduce applications."""
+
+from repro.mapreduce.applications.cooccurrence import (
+    cooccurrence_job,
+    cooccurrence_reference,
+)
+from repro.mapreduce.applications.kmeans import (
+    assign_reference,
+    kmeans_iterate,
+    kmeans_job,
+    quantize_centroids,
+)
+from repro.mapreduce.applications.wordcount import wordcount_job, wordcount_reference
+
+__all__ = [
+    "cooccurrence_job", "cooccurrence_reference",
+    "assign_reference", "kmeans_iterate", "kmeans_job", "quantize_centroids",
+    "wordcount_job", "wordcount_reference",
+]

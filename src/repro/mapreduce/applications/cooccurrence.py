@@ -1,0 +1,56 @@
+"""Co-occurrence Matrix: word-pair counts within a sliding window (Fig. 15).
+
+Emits one count per ordered pair of words appearing within ``window``
+positions of each other in a record — the "pairs" formulation of the
+co-occurrence matrix, a shuffle-heavy workload (its speedup curve in
+Fig. 15 sits below Word-Count's).
+"""
+
+from __future__ import annotations
+
+from repro.mapreduce.job import MapReduceJob, text_input_format
+
+__all__ = ["cooccurrence_job", "cooccurrence_reference", "DEFAULT_WINDOW"]
+
+DEFAULT_WINDOW = 3
+
+
+def _make_map(window: int):
+    def _map(record: bytes):
+        words = record.split()
+        for i, w in enumerate(words):
+            for j in range(i + 1, min(i + 1 + window, len(words))):
+                yield (w, words[j]), 1
+
+    return _map
+
+
+def _sum(_key, values):
+    return sum(values)
+
+
+def cooccurrence_job(window: int = DEFAULT_WINDOW, n_reducers: int = 4) -> MapReduceJob:
+    """Pairwise co-occurrence counts with a sum combiner."""
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    return MapReduceJob(
+        name="cooccurrence",
+        map_fn=_make_map(window),
+        reduce_fn=_sum,
+        combine_fn=_sum,
+        input_format=text_input_format,
+        n_reducers=n_reducers,
+        params=(window,),
+    )
+
+
+def cooccurrence_reference(data: bytes, window: int = DEFAULT_WINDOW) -> dict:
+    """Single-process reference for differential testing."""
+    counts: dict = {}
+    for line in data.split(b"\n"):
+        words = line.split()
+        for i, w in enumerate(words):
+            for j in range(i + 1, min(i + 1 + window, len(words))):
+                key = (w, words[j])
+                counts[key] = counts.get(key, 0) + 1
+    return counts

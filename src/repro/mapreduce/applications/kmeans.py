@@ -1,0 +1,139 @@
+"""K-means clustering as iterative MapReduce (Fig. 15).
+
+Each iteration is one MapReduce job: map assigns every point to its
+nearest centroid and emits ``(cluster, (sum_x, sum_y, count))`` partials;
+the combiner sums partials; reduce computes new centroids.
+
+Incremental behaviour: the current centroids are job *parameters* and
+participate in memoization keys.  To keep keys stable when small input
+changes perturb centroids only negligibly, centroids are **quantized**
+before keying (Incoop relies on the analogous observation that iterative
+jobs converge to stable fixed points; without quantization, a 1e-9 drift
+would defeat all reuse).
+"""
+
+from __future__ import annotations
+
+from repro.mapreduce.job import MapReduceJob, text_input_format
+
+__all__ = [
+    "kmeans_job",
+    "kmeans_iterate",
+    "parse_point",
+    "quantize_centroids",
+    "assign_reference",
+]
+
+#: Quantization step for centroid memo keys.
+CENTROID_QUANTUM = 1e-3
+
+
+def parse_point(record: bytes) -> tuple[float, float]:
+    x, y = record.split(b",")
+    return float(x), float(y)
+
+
+def quantize_centroids(
+    centroids: tuple[tuple[float, float], ...], quantum: float = CENTROID_QUANTUM
+) -> tuple[tuple[float, float], ...]:
+    """Round centroids so nearby parameter sets share memo keys."""
+    return tuple(
+        (round(x / quantum) * quantum, round(y / quantum) * quantum)
+        for x, y in centroids
+    )
+
+
+def _make_map(centroids: tuple[tuple[float, float], ...]):
+    def _map(record: bytes):
+        try:
+            x, y = parse_point(record)
+        except ValueError:
+            return  # skip malformed records
+        best, best_d = 0, float("inf")
+        for i, (cx, cy) in enumerate(centroids):
+            d = (x - cx) ** 2 + (y - cy) ** 2
+            if d < best_d:
+                best, best_d = i, d
+        yield best, (x, y, 1)
+
+    return _map
+
+
+def _combine(_key, values):
+    sx = sy = n = 0.0
+    for vx, vy, vn in values:
+        sx += vx
+        sy += vy
+        n += vn
+    return (sx, sy, n)
+
+
+def _reduce(_key, values):
+    sx, sy, n = _combine(_key, values)
+    if n == 0:
+        return (0.0, 0.0)
+    return (sx / n, sy / n)
+
+
+def kmeans_job(
+    centroids: tuple[tuple[float, float], ...], n_reducers: int = 4
+) -> MapReduceJob:
+    """One K-means iteration for the given (quantized) centroids."""
+    q = quantize_centroids(tuple(tuple(c) for c in centroids))
+    return MapReduceJob(
+        name="kmeans",
+        map_fn=_make_map(q),
+        reduce_fn=_reduce,
+        combine_fn=_combine,
+        input_format=text_input_format,
+        n_reducers=n_reducers,
+        params=q,
+        # One distance evaluation per centroid per point.
+        compute_weight=1.0 + 0.75 * len(q),
+    )
+
+
+def kmeans_iterate(runtime, path: str, centroids, iterations: int = 3):
+    """Run ``iterations`` incremental K-means rounds; returns
+    ``(final_centroids, [RunResult, ...])``.
+
+    ``runtime`` may be an :class:`~repro.mapreduce.incoop.IncoopRuntime`
+    (incremental) or a plain runtime exposing ``run``.
+    """
+    results = []
+    current = quantize_centroids(tuple(tuple(c) for c in centroids))
+    k = len(current)
+    for _ in range(iterations):
+        job = kmeans_job(current)
+        if hasattr(runtime, "run_incremental"):
+            result = runtime.run_incremental(job, path)
+        else:
+            result = runtime.run(job, path)
+        results.append(result)
+        updated = list(current)
+        for cluster, centroid in result.output.items():
+            if 0 <= cluster < k:
+                updated[cluster] = centroid
+        current = quantize_centroids(tuple(updated))
+    return current, results
+
+
+def assign_reference(data: bytes, centroids) -> dict[int, tuple[float, float]]:
+    """Single-process one-iteration reference (new centroid per cluster)."""
+    sums: dict[int, list[float]] = {}
+    for line in data.split(b"\n"):
+        if not line:
+            continue
+        x, y = parse_point(line)
+        best, best_d = 0, float("inf")
+        for i, (cx, cy) in enumerate(centroids):
+            d = (x - cx) ** 2 + (y - cy) ** 2
+            if d < best_d:
+                best, best_d = i, d
+        acc = sums.setdefault(best, [0.0, 0.0, 0.0])
+        acc[0] += x
+        acc[1] += y
+        acc[2] += 1
+    return {
+        k: (sx / n, sy / n) for k, (sx, sy, n) in sums.items() if n
+    }

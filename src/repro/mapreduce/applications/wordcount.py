@@ -1,0 +1,37 @@
+"""Word-Count: the canonical MapReduce application (Fig. 15)."""
+
+from __future__ import annotations
+
+from repro.mapreduce.job import MapReduceJob, text_input_format
+
+__all__ = ["wordcount_job", "wordcount_reference"]
+
+
+def _map(record: bytes):
+    for word in record.split():
+        yield word, 1
+
+
+def _sum(_key, values):
+    return sum(values)
+
+
+def wordcount_job(n_reducers: int = 4) -> MapReduceJob:
+    """Count word occurrences; combiner-enabled (sum is associative)."""
+    return MapReduceJob(
+        name="wordcount",
+        map_fn=_map,
+        reduce_fn=_sum,
+        combine_fn=_sum,
+        input_format=text_input_format,
+        n_reducers=n_reducers,
+    )
+
+
+def wordcount_reference(data: bytes) -> dict[bytes, int]:
+    """Single-process reference implementation for differential testing."""
+    counts: dict[bytes, int] = {}
+    for line in data.split(b"\n"):
+        for word in line.split():
+            counts[word] = counts.get(word, 0) + 1
+    return counts

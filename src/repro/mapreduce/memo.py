@@ -1,0 +1,84 @@
+"""Memoization server for incremental MapReduce (Incoop §6.1).
+
+Stores sub-computation results keyed by *content*: a map task's key is
+``(job, params, split digest)``; a contraction node's key is derived from
+its children's keys.  Because Inc-HDFS split digests are stable under
+local input edits, re-running a job on slightly-changed input hits the
+memo for almost every task.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["MemoServer", "memo_key", "params_digest"]
+
+
+def params_digest(params: tuple) -> str:
+    """Stable digest of job parameters (participates in memo keys)."""
+    return hashlib.sha256(pickle.dumps(params)).hexdigest()[:16]
+
+
+def memo_key(job_name: str, params: tuple, split_id: str) -> str:
+    """Memoization key for a map task."""
+    return f"map:{job_name}:{params_digest(params)}:{split_id}"
+
+
+@dataclass
+class MemoServer:
+    """In-memory memoization store with hit/miss accounting."""
+
+    _store: dict[str, Any] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+
+    def get(self, key: str) -> Any | None:
+        if key in self._store:
+            self.hits += 1
+            return self._store[key]
+        self.misses += 1
+        return None
+
+    def put(self, key: str, value: Any) -> None:
+        self._store[key] = value
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def invalidate(self, prefix: str = "") -> int:
+        """Drop entries whose key starts with ``prefix``; returns count."""
+        doomed = [k for k in self._store if k.startswith(prefix)]
+        for k in doomed:
+            del self._store[k]
+        return len(doomed)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    # -- persistence (Incoop's memoization server survives job runs) --------
+
+    def save(self, path) -> None:
+        """Persist contents to ``path`` (pickle)."""
+        import pathlib
+
+        with pathlib.Path(path).open("wb") as fh:
+            pickle.dump(self._store, fh)
+
+    @classmethod
+    def load(cls, path) -> "MemoServer":
+        """Rebuild a memo server from :meth:`save` output; counters reset."""
+        import pathlib
+
+        with pathlib.Path(path).open("rb") as fh:
+            store = pickle.load(fh)
+        if not isinstance(store, dict):
+            raise ValueError(f"{path} does not contain a memo store")
+        return cls(_store=store)

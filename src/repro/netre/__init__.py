@@ -1,0 +1,17 @@
+"""Network redundancy elimination middleboxes (§9 future work)."""
+
+from repro.netre.cache import ChunkCache
+from repro.netre.middlebox import (
+    Decoder,
+    EncodedStream,
+    Encoder,
+    REConfig,
+    RETunnel,
+    Shim,
+)
+from repro.netre.traffic import TrafficConfig, TrafficGenerator
+
+__all__ = [
+    "ChunkCache", "Decoder", "EncodedStream", "Encoder", "REConfig",
+    "RETunnel", "Shim", "TrafficConfig", "TrafficGenerator",
+]

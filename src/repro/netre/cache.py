@@ -1,0 +1,64 @@
+"""Synchronized chunk caches for redundancy elimination.
+
+Both ends of an RE tunnel keep a fingerprint-indexed chunk cache; as long
+as both apply the same deterministic insertion/eviction policy to the
+same chunk stream, the upstream box can replace a cached chunk with its
+fingerprint and the downstream box will always be able to expand it.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+__all__ = ["ChunkCache"]
+
+
+class ChunkCache:
+    """Bounded LRU chunk cache keyed by chunk digest.
+
+    Deterministic: the same sequence of ``insert``/``touch`` calls yields
+    the same contents on both middleboxes, which is the synchronization
+    invariant the protocol relies on (tested).
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self._entries: OrderedDict[bytes, bytes] = OrderedDict()
+        self.used_bytes = 0
+        self.evictions = 0
+
+    def __contains__(self, digest: bytes) -> bool:
+        return digest in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, digest: bytes) -> bytes | None:
+        """Fetch and LRU-touch a cached chunk."""
+        data = self._entries.get(digest)
+        if data is not None:
+            self._entries.move_to_end(digest)
+        return data
+
+    def insert(self, digest: bytes, data: bytes) -> None:
+        """Insert (or touch) a chunk, evicting LRU entries to fit."""
+        if digest in self._entries:
+            self._entries.move_to_end(digest)
+            return
+        if len(data) > self.capacity_bytes:
+            return  # never cache chunks larger than the whole cache
+        while self.used_bytes + len(data) > self.capacity_bytes:
+            _, evicted = self._entries.popitem(last=False)
+            self.used_bytes -= len(evicted)
+            self.evictions += 1
+        self._entries[digest] = data
+        self.used_bytes += len(data)
+
+    def state_digest(self) -> int:
+        """Order-sensitive hash of contents (for sync checks in tests)."""
+        acc = 0
+        for digest in self._entries:
+            acc = (acc * 1000003) ^ hash(digest)
+        return acc

@@ -1,0 +1,22 @@
+"""Synthetic workload generation: byte streams, text corpora, point sets."""
+
+from repro.workloads.datagen import (
+    delete_fraction,
+    insert_fraction,
+    mutate,
+    replace_fraction,
+    seeded_bytes,
+)
+from repro.workloads.text import (
+    generate_points,
+    generate_text,
+    mutate_records,
+    record_count,
+    vocabulary,
+)
+
+__all__ = [
+    "delete_fraction", "insert_fraction", "mutate", "replace_fraction",
+    "seeded_bytes", "generate_points", "generate_text", "mutate_records",
+    "record_count", "vocabulary",
+]

@@ -1,0 +1,132 @@
+"""Seeded byte-stream generation and mutation operators.
+
+The incremental experiments (Fig. 15, Fig. 18) need input streams where a
+controlled *percentage of the data* changes between runs.  Generators are
+deterministic in their seeds so every backend and benchmark sees the same
+bytes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "seeded_bytes",
+    "replace_fraction",
+    "insert_fraction",
+    "delete_fraction",
+    "mutate",
+]
+
+
+def seeded_bytes(n: int, seed: int = 0) -> bytes:
+    """``n`` deterministic pseudo-random bytes."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return np.random.default_rng(seed).integers(0, 256, n, dtype=np.uint8).tobytes()
+
+
+def _edit_sites(n: int, n_edits: int, rng: np.random.Generator) -> np.ndarray:
+    """Distinct random offsets for edits, sorted."""
+    if n_edits >= n:
+        return np.arange(n)
+    return np.sort(rng.choice(n, size=n_edits, replace=False))
+
+
+def replace_fraction(
+    data: bytes, fraction: float, seed: int = 1, edit_size: int = 256
+) -> bytes:
+    """Overwrite ``fraction`` of ``data`` in scattered ``edit_size`` runs.
+
+    In-place replacement: length is preserved, so only the chunks covering
+    an edited run change.
+    """
+    _check_fraction(fraction)
+    n = len(data)
+    if n == 0 or fraction == 0:
+        return data
+    total_edit = int(n * fraction)
+    n_edits = max(1, total_edit // edit_size)
+    rng = np.random.default_rng(seed)
+    arr = np.frombuffer(data, dtype=np.uint8).copy()
+    sites = rng.choice(max(1, n - edit_size), size=n_edits, replace=False)
+    for site in sites:
+        run = min(edit_size, n - site)
+        arr[site : site + run] = rng.integers(0, 256, run, dtype=np.uint8)
+    return arr.tobytes()
+
+def insert_fraction(
+    data: bytes, fraction: float, seed: int = 1, edit_size: int = 256
+) -> bytes:
+    """Insert ``fraction`` of new bytes at scattered offsets (shifts data)."""
+    _check_fraction(fraction)
+    n = len(data)
+    if n == 0 or fraction == 0:
+        return data
+    total_insert = int(n * fraction)
+    n_edits = max(1, total_insert // edit_size)
+    rng = np.random.default_rng(seed)
+    sites = _edit_sites(n, n_edits, rng)
+    pieces = []
+    prev = 0
+    for site in sites:
+        pieces.append(data[prev:site])
+        pieces.append(rng.integers(0, 256, edit_size, dtype=np.uint8).tobytes())
+        prev = site
+    pieces.append(data[prev:])
+    return b"".join(pieces)
+
+
+def delete_fraction(
+    data: bytes, fraction: float, seed: int = 1, edit_size: int = 256
+) -> bytes:
+    """Delete ``fraction`` of bytes in scattered runs (shifts data)."""
+    _check_fraction(fraction)
+    n = len(data)
+    if n == 0 or fraction == 0:
+        return data
+    total_delete = int(n * fraction)
+    n_edits = max(1, total_delete // edit_size)
+    rng = np.random.default_rng(seed)
+    sites = _edit_sites(max(1, n - edit_size), n_edits, rng)
+    pieces = []
+    prev = 0
+    for site in sites:
+        if site < prev:
+            continue  # overlapping deletions collapse
+        pieces.append(data[prev:site])
+        prev = site + edit_size
+    pieces.append(data[prev:])
+    return b"".join(pieces)
+
+
+def mutate(
+    data: bytes,
+    percent: float,
+    mode: str = "replace",
+    seed: int = 1,
+    edit_size: int = 256,
+) -> bytes:
+    """Apply ``percent``% changes with the given operator.
+
+    ``mode`` is one of ``replace`` (in-place), ``insert``, ``delete`` or
+    ``mixed`` (one third each).
+    """
+    fraction = percent / 100.0
+    if mode == "replace":
+        return replace_fraction(data, fraction, seed, edit_size)
+    if mode == "insert":
+        return insert_fraction(data, fraction, seed, edit_size)
+    if mode == "delete":
+        return delete_fraction(data, fraction, seed, edit_size)
+    if mode == "mixed":
+        third = fraction / 3
+        out = replace_fraction(data, third, seed, edit_size)
+        out = insert_fraction(out, third, seed + 1, edit_size)
+        return delete_fraction(out, third, seed + 2, edit_size)
+    raise ValueError(f"unknown mutation mode {mode!r}")
+
+
+def _check_fraction(fraction: float) -> None:
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")

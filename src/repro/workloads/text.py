@@ -1,0 +1,123 @@
+"""Synthetic text and point datasets for the MapReduce applications (§6.3).
+
+The Fig. 15 workloads are Word-Count, Co-occurrence Matrix, and K-means.
+``generate_text`` produces newline-delimited records of Zipf-ish words;
+``mutate_records`` replaces a controlled percentage of *records* (the unit
+of change that matters for incremental MapReduce).  ``generate_points``
+emits "x,y" records for K-means.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "vocabulary",
+    "generate_text",
+    "generate_points",
+    "mutate_records",
+    "record_count",
+]
+
+
+def vocabulary(size: int = 2000, seed: int = 0) -> list[bytes]:
+    """Deterministic pseudo-word vocabulary."""
+    rng = np.random.default_rng(seed)
+    letters = np.frombuffer(b"abcdefghijklmnopqrstuvwxyz", dtype=np.uint8)
+    words = []
+    for _ in range(size):
+        length = int(rng.integers(3, 10))
+        words.append(letters[rng.integers(0, 26, length)].tobytes())
+    return words
+
+
+def generate_text(
+    n_bytes: int,
+    seed: int = 0,
+    words_per_record: int = 12,
+    vocab_size: int = 2000,
+) -> bytes:
+    """~``n_bytes`` of newline-delimited text with a Zipf word distribution."""
+    if n_bytes <= 0:
+        return b""
+    vocab = vocabulary(vocab_size, seed=0)
+    rng = np.random.default_rng(seed)
+    # Zipf over the vocabulary, clipped to the vocab size.
+    records = []
+    total = 0
+    while total < n_bytes:
+        idx = np.minimum(rng.zipf(1.3, words_per_record) - 1, vocab_size - 1)
+        record = b" ".join(vocab[i] for i in idx) + b"\n"
+        records.append(record)
+        total += len(record)
+    return b"".join(records)
+
+
+def generate_points(
+    n_points: int, n_clusters: int = 8, seed: int = 0, spread: float = 0.05
+) -> bytes:
+    """Newline-delimited "x,y" records drawn around ``n_clusters`` centers."""
+    rng = np.random.default_rng(seed)
+    centers = rng.random((n_clusters, 2))
+    assignment = rng.integers(0, n_clusters, n_points)
+    points = centers[assignment] + rng.normal(0, spread, (n_points, 2))
+    lines = [f"{x:.6f},{y:.6f}".encode() for x, y in points]
+    return b"\n".join(lines) + b"\n"
+
+
+def record_count(data: bytes) -> int:
+    """Number of newline-terminated records."""
+    return data.count(b"\n")
+
+
+def _text_record_factory(rng: np.random.Generator) -> bytes:
+    vocab = vocabulary(seed=0)
+    idx = np.minimum(rng.zipf(1.3, 12) - 1, len(vocab) - 1)
+    return b" ".join(vocab[j] for j in idx)
+
+
+def _point_record_factory(rng: np.random.Generator) -> bytes:
+    x, y = rng.random(), rng.random()
+    return f"{x:.6f},{y:.6f}".encode()
+
+
+def mutate_records(
+    data: bytes,
+    percent: float,
+    seed: int = 1,
+    kind: str = "text",
+    run: int = 100,
+) -> bytes:
+    """Replace ``percent``% of records with newly generated ones.
+
+    Replacement happens in contiguous runs of ``run`` records (as real
+    dataset updates do: new log days, recrawled pages), record-aligned so
+    the data stays parseable.  ``kind`` selects the replacement record
+    shape (``"text"`` word lines or ``"points"`` "x,y" lines) so mutated
+    files keep their format.  0% returns the input unchanged.
+    """
+    if not 0 <= percent <= 100:
+        raise ValueError(f"percent must be in [0, 100], got {percent}")
+    if kind not in ("text", "points"):
+        raise ValueError(f"unknown record kind {kind!r}")
+    if percent == 0 or not data:
+        return data
+    factory = _text_record_factory if kind == "text" else _point_record_factory
+    records = data.split(b"\n")
+    trailing_newline = records and records[-1] == b""
+    if trailing_newline:
+        records = records[:-1]
+    n = len(records)
+    n_changed = max(1, int(n * percent / 100))
+    rng = np.random.default_rng(seed)
+    n_runs = max(1, n_changed // run)
+    starts = rng.choice(max(1, n - min(run, n)), size=min(n_runs, max(1, n - min(run, n))), replace=False)
+    changed = 0
+    for start in starts:
+        for i in range(start, min(start + run, n)):
+            if changed >= n_changed:
+                break
+            records[i] = factory(rng)
+            changed += 1
+    out = b"\n".join(records)
+    return out + b"\n" if trailing_newline else out

@@ -1,0 +1,181 @@
+"""Tests for the pinned ring buffer, double buffer, and streaming pipeline."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.buffers import DoubleBuffer, PinnedRingBuffer
+from repro.core.pipeline import PipelineError, Stage, StreamingPipeline
+from repro.gpu.device import GPUDevice
+from repro.gpu.host_memory import HostMemoryModel
+
+MB = 1 << 20
+
+
+class TestPinnedRingBuffer:
+    def test_allocates_once(self):
+        mem = HostMemoryModel()
+        ring = PinnedRingBuffer(mem, 32 * MB, num_slots=4)
+        assert mem.live_allocations == 4
+        for _ in range(100):
+            slot = ring.acquire()
+            ring.release(slot)
+        assert mem.live_allocations == 4  # reuse, not reallocation
+        assert ring.acquires == 100
+
+    def test_round_robin(self):
+        ring = PinnedRingBuffer(HostMemoryModel(), MB, num_slots=3)
+        order = []
+        for _ in range(3):
+            s = ring.acquire()
+            order.append(s.index)
+            ring.release(s)
+        assert order == [0, 1, 2]
+
+    def test_exhaustion(self):
+        ring = PinnedRingBuffer(HostMemoryModel(), MB, num_slots=2)
+        ring.acquire()
+        ring.acquire()
+        with pytest.raises(RuntimeError, match="exhausted"):
+            ring.acquire()
+
+    def test_release_frees_slot(self):
+        ring = PinnedRingBuffer(HostMemoryModel(), MB, num_slots=1)
+        s = ring.acquire()
+        ring.release(s)
+        assert ring.acquire() is s
+
+    def test_double_release_rejected(self):
+        ring = PinnedRingBuffer(HostMemoryModel(), MB, num_slots=1)
+        s = ring.acquire()
+        ring.release(s)
+        with pytest.raises(ValueError):
+            ring.release(s)
+
+    def test_amortization_beats_fresh_allocation(self):
+        """Fig. 6's point: ring reuse is an order of magnitude cheaper than
+        allocating pinned buffers per transfer."""
+        mem = HostMemoryModel()
+        size = 64 * MB
+        ring = PinnedRingBuffer(mem, size, num_slots=4)
+        transfers = 64
+        ring_cost = ring.amortized_cost(transfers) + ring.staging_copy_time(size)
+        fresh_cost = HostMemoryModel().alloc_pinned(size).alloc_seconds
+        assert fresh_cost > 5 * ring_cost
+
+    def test_staging_copy_size_check(self):
+        ring = PinnedRingBuffer(HostMemoryModel(), MB, num_slots=1)
+        with pytest.raises(ValueError):
+            ring.staging_copy_time(2 * MB)
+
+    def test_destroy_releases_pins(self):
+        mem = HostMemoryModel()
+        ring = PinnedRingBuffer(mem, MB, num_slots=2)
+        assert mem.pinned_bytes == 2 * MB
+        ring.destroy()
+        assert mem.pinned_bytes == 0
+
+
+class TestDoubleBuffer:
+    def test_alternation(self):
+        dev = GPUDevice()
+        db = DoubleBuffer(dev, MB)
+        a, b, c = db.next_buffer(), db.next_buffer(), db.next_buffer()
+        assert a is c and a is not b
+
+    def test_device_accounting(self):
+        dev = GPUDevice()
+        db = DoubleBuffer(dev, MB, count=3)
+        assert dev.allocated_bytes == 3 * MB
+        db.release()
+        assert dev.allocated_bytes == 0
+
+    def test_needs_two(self):
+        with pytest.raises(ValueError):
+            DoubleBuffer(GPUDevice(), MB, count=1)
+
+
+class TestStreamingPipeline:
+    def test_identity(self):
+        pipe = StreamingPipeline([Stage("id", lambda x: x)])
+        assert pipe.run(range(10)) == list(range(10))
+
+    def test_multi_stage_composition(self):
+        pipe = StreamingPipeline(
+            [Stage("double", lambda x: 2 * x), Stage("inc", lambda x: x + 1)]
+        )
+        assert pipe.run([1, 2, 3]) == [3, 5, 7]
+
+    def test_order_preserved_with_jitter(self):
+        import random
+
+        def jitter(x):
+            time.sleep(random.random() * 0.002)
+            return x
+
+        pipe = StreamingPipeline([Stage("a", jitter), Stage("b", jitter)])
+        assert pipe.run(range(30)) == list(range(30))
+
+    def test_empty_input(self):
+        pipe = StreamingPipeline([Stage("id", lambda x: x)])
+        assert pipe.run([]) == []
+
+    def test_stage_error_propagates(self):
+        def boom(x):
+            if x == 3:
+                raise ValueError("bad item")
+            return x
+
+        pipe = StreamingPipeline([Stage("boom", boom)])
+        with pytest.raises(PipelineError):
+            pipe.run(range(10))
+
+    def test_stages_actually_overlap(self):
+        """With 4 concurrent stages, wall time is well below the serial sum."""
+        delay = 0.01
+        n = 8
+
+        def slow(x):
+            time.sleep(delay)
+            return x
+
+        stages = [Stage(f"s{i}", slow) for i in range(4)]
+        start = time.perf_counter()
+        StreamingPipeline(stages, max_in_flight=4).run(range(n))
+        elapsed = time.perf_counter() - start
+        serial = 4 * n * delay
+        assert elapsed < 0.7 * serial
+
+    def test_in_flight_limit_respected(self):
+        in_flight = 0
+        peak = 0
+        lock = threading.Lock()
+
+        def enter(x):
+            nonlocal in_flight, peak
+            with lock:
+                in_flight += 1
+                peak = max(peak, in_flight)
+            time.sleep(0.002)
+            return x
+
+        def leave(x):
+            nonlocal in_flight
+            with lock:
+                in_flight -= 1
+            return x
+
+        pipe = StreamingPipeline(
+            [Stage("enter", enter), Stage("leave", leave)], max_in_flight=2
+        )
+        pipe.run(range(20))
+        # Bounded queues keep admitted-but-unfinished items limited: with
+        # 2 stages and queue depth 2 the in-flight count stays small.
+        assert peak <= 6
+
+    def test_requires_stages(self):
+        with pytest.raises(ValueError):
+            StreamingPipeline([])

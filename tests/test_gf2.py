@@ -1,0 +1,150 @@
+"""Tests for GF(2) polynomial arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import gf2
+
+polys = st.integers(min_value=0, max_value=(1 << 64) - 1)
+nonzero_polys = st.integers(min_value=1, max_value=(1 << 64) - 1)
+
+
+class TestDegree:
+    def test_zero(self):
+        assert gf2.degree(0) == -1
+
+    def test_one(self):
+        assert gf2.degree(1) == 0
+
+    def test_x(self):
+        assert gf2.degree(0b10) == 1
+
+    def test_high(self):
+        assert gf2.degree(1 << 53) == 53
+
+
+class TestMultiply:
+    def test_by_zero(self):
+        assert gf2.multiply(0b1011, 0) == 0
+
+    def test_by_one(self):
+        assert gf2.multiply(0b1011, 1) == 0b1011
+
+    def test_by_x_is_shift(self):
+        assert gf2.multiply(0b1011, 0b10) == 0b10110
+
+    def test_known_product(self):
+        # (x + 1)(x + 1) = x^2 + 1 over GF(2) (cross terms cancel).
+        assert gf2.multiply(0b11, 0b11) == 0b101
+
+    @given(a=polys, b=polys)
+    @settings(max_examples=50)
+    def test_commutative(self, a, b):
+        assert gf2.multiply(a, b) == gf2.multiply(b, a)
+
+    @given(a=polys, b=polys, c=polys)
+    @settings(max_examples=50)
+    def test_distributive(self, a, b, c):
+        assert gf2.multiply(a, b ^ c) == gf2.multiply(a, b) ^ gf2.multiply(a, c)
+
+    @given(a=polys, b=polys)
+    @settings(max_examples=50)
+    def test_degree_additive(self, a, b):
+        if a and b:
+            assert gf2.degree(gf2.multiply(a, b)) == gf2.degree(a) + gf2.degree(b)
+
+
+class TestMod:
+    def test_mod_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf2.mod(0b101, 0)
+
+    def test_smaller_unchanged(self):
+        assert gf2.mod(0b101, 0b10000) == 0b101
+
+    @given(a=polys, m=nonzero_polys)
+    @settings(max_examples=100)
+    def test_residue_degree(self, a, m):
+        assert gf2.degree(gf2.mod(a, m)) < gf2.degree(m) or gf2.mod(a, m) == 0
+
+    @given(a=polys, m=nonzero_polys)
+    @settings(max_examples=100)
+    def test_idempotent(self, a, m):
+        r = gf2.mod(a, m)
+        assert gf2.mod(r, m) == r
+
+    @given(a=polys, b=polys, m=nonzero_polys)
+    @settings(max_examples=50)
+    def test_mod_is_linear(self, a, b, m):
+        assert gf2.mod(a ^ b, m) == gf2.mod(a, m) ^ gf2.mod(b, m)
+
+
+class TestPowMod:
+    def test_power_zero(self):
+        assert gf2.pow_mod(0b10, 0, 0b1011) == 1
+
+    def test_power_one(self):
+        assert gf2.pow_mod(0b10, 1, 0b1011) == 0b10
+
+    @given(e1=st.integers(0, 200), e2=st.integers(0, 200), m=st.integers(4, 1 << 60))
+    @settings(max_examples=50)
+    def test_exponent_additive(self, e1, e2, m):
+        x = 0b10
+        lhs = gf2.pow_mod(x, e1 + e2, m)
+        rhs = gf2.multiply_mod(gf2.pow_mod(x, e1, m), gf2.pow_mod(x, e2, m), m)
+        assert lhs == rhs
+
+
+class TestGcd:
+    def test_gcd_self(self):
+        assert gf2.gcd(0b1011, 0b1011) == 0b1011
+
+    def test_gcd_with_zero(self):
+        assert gf2.gcd(0b1011, 0) == 0b1011
+
+    @given(a=nonzero_polys, b=nonzero_polys)
+    @settings(max_examples=50)
+    def test_gcd_divides(self, a, b):
+        g = gf2.gcd(a, b)
+        assert gf2.mod(a, g) == 0
+        assert gf2.mod(b, g) == 0
+
+
+class TestIrreducibility:
+    def test_known_irreducible(self):
+        # x^3 + x + 1 is irreducible over GF(2).
+        assert gf2.is_irreducible(0b1011)
+
+    def test_known_reducible(self):
+        # x^2 + 1 = (x + 1)^2.
+        assert not gf2.is_irreducible(0b101)
+
+    def test_x_squared_plus_x_reducible(self):
+        assert not gf2.is_irreducible(0b110)  # x(x+1)
+
+    def test_degree_zero_not_irreducible(self):
+        assert not gf2.is_irreducible(1)
+
+    def test_exhaustive_degree_4(self):
+        # The irreducible degree-4 polynomials over GF(2) are known:
+        # x^4+x+1, x^4+x^3+1, x^4+x^3+x^2+x+1.
+        found = sorted(
+            p for p in range(1 << 4, 1 << 5) if gf2.is_irreducible(p)
+        )
+        assert found == [0b10011, 0b11001, 0b11111]
+
+    def test_find_irreducible_is_irreducible(self):
+        poly = gf2.find_irreducible(16, seed=99)
+        assert gf2.degree(poly) == 16
+        assert gf2.is_irreducible(poly)
+
+    def test_find_irreducible_deterministic(self):
+        assert gf2.find_irreducible(20, seed=5) == gf2.find_irreducible(20, seed=5)
+
+    def test_default_degree_53(self):
+        poly = gf2.find_irreducible(seed=2012)
+        assert gf2.degree(poly) == 53
+        assert gf2.is_irreducible(poly)

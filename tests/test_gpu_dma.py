@@ -1,0 +1,88 @@
+"""Tests for the PCIe DMA model (Fig. 3 behaviours)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.dma import DMAModel, Direction, MemoryType
+
+KB, MB = 1024, 1 << 20
+
+
+@pytest.fixture(scope="module")
+def dma() -> DMAModel:
+    return DMAModel()
+
+
+class TestTransferTime:
+    def test_zero_size_free(self, dma):
+        assert dma.transfer_time(0) == 0.0
+
+    def test_negative_raises(self, dma):
+        with pytest.raises(ValueError):
+            dma.transfer_time(-1)
+
+    @given(size=st.integers(1, 1 << 28))
+    @settings(max_examples=60)
+    def test_pinned_faster_than_pageable(self, size):
+        dma = DMAModel()
+        for d in Direction:
+            assert dma.transfer_time(size, d, MemoryType.PINNED) < dma.transfer_time(
+                size, d, MemoryType.PAGEABLE
+            )
+
+    @given(a=st.integers(1, 1 << 27), b=st.integers(1, 1 << 27))
+    @settings(max_examples=60)
+    def test_monotone_in_size(self, a, b):
+        dma = DMAModel()
+        if a < b:
+            assert dma.transfer_time(a) <= dma.transfer_time(b)
+
+    def test_h2d_peak_asymmetry(self, dma):
+        """H2D peak (5.406) exceeds D2H peak (5.129) as in Table 1."""
+        size = 256 * MB
+        assert dma.bandwidth(size, Direction.HOST_TO_DEVICE) > dma.bandwidth(
+            size, Direction.DEVICE_TO_HOST
+        )
+
+
+class TestBandwidthShape:
+    """The qualitative findings the paper lists under Fig. 3."""
+
+    def test_small_buffers_expensive(self, dma):
+        """(i) small transfers get a fraction of peak bandwidth."""
+        assert dma.bandwidth(4 * KB) < 0.2 * dma.gpu.h2d_bandwidth
+
+    def test_pinned_saturates_by_256k(self, dma):
+        """(ii) pinned throughput is near-saturated at 256 KB."""
+        assert dma.bandwidth(256 * KB) > 0.8 * dma.gpu.h2d_bandwidth
+
+    def test_pageable_not_saturated_at_256k(self, dma):
+        assert dma.bandwidth(256 * KB, memory_type=MemoryType.PAGEABLE) < (
+            0.7 * dma.gpu.h2d_bandwidth
+        )
+
+    def test_pageable_saturates_by_32m(self, dma):
+        bw = dma.bandwidth(32 * MB, memory_type=MemoryType.PAGEABLE)
+        assert bw > 0.75 * dma.gpu.h2d_bandwidth
+
+    def test_large_buffer_gap_insignificant(self, dma):
+        """(iii) pageable vs pinned differ by <15% for >=32 MB buffers."""
+        for size in (32 * MB, 64 * MB, 256 * MB):
+            pinned = dma.bandwidth(size)
+            pageable = dma.bandwidth(size, memory_type=MemoryType.PAGEABLE)
+            assert (pinned - pageable) / pinned < 0.15
+
+    def test_effective_bandwidth_order_5gbps(self, dma):
+        """(iv) PCIe effective bandwidth ~5 GB/s, an order of magnitude
+        below the 144 GB/s device memory bandwidth."""
+        bw = dma.bandwidth(64 * MB)
+        assert 4e9 < bw < 6e9
+        assert dma.gpu.device_memory_bandwidth / bw > 10
+
+    def test_transfer_record(self, dma):
+        t = dma.transfer(1 * MB)
+        assert t.size == 1 * MB
+        assert t.bandwidth == pytest.approx(t.size / t.seconds)

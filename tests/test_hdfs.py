@@ -1,0 +1,203 @@
+"""Tests for the in-process HDFS cluster and Inc-HDFS uploads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.chunking import ChunkerConfig
+from repro.core.shredder import Shredder, ShredderConfig
+from repro.hdfs import (
+    DataNodeDown,
+    FileAlreadyExists,
+    FileNotFoundInHDFS,
+    HDFSCluster,
+    NoDataNodes,
+    snap_cuts_to_records,
+    split_records,
+)
+from repro.workloads import generate_text, mutate_records, seeded_bytes
+
+SMALL = ChunkerConfig(mask_bits=8, marker=0x55)
+
+
+def make_shredder():
+    return Shredder(ShredderConfig.gpu_streams_memory(chunker=SMALL, buffer_size=1 << 20))
+
+
+@pytest.fixture()
+def cluster() -> HDFSCluster:
+    return HDFSCluster(num_datanodes=5, replication=2)
+
+
+class TestFixedSizeUpload:
+    def test_roundtrip(self, cluster):
+        data = seeded_bytes(300_000, seed=1)
+        cluster.client.copy_from_local(data, "/f", block_size=64 * 1024)
+        assert cluster.client.read("/f") == data
+
+    def test_block_count(self, cluster):
+        data = seeded_bytes(300_000, seed=1)
+        up = cluster.client.copy_from_local(data, "/f", block_size=64 * 1024)
+        assert up.n_blocks == 5  # ceil(300000 / 65536)
+
+    def test_duplicate_path_rejected(self, cluster):
+        cluster.client.copy_from_local(b"abc", "/f")
+        with pytest.raises(FileAlreadyExists):
+            cluster.client.copy_from_local(b"xyz", "/f")
+
+    def test_missing_file(self, cluster):
+        with pytest.raises(FileNotFoundInHDFS):
+            cluster.client.read("/nope")
+
+    def test_replication(self, cluster):
+        data = seeded_bytes(100_000, seed=2)
+        cluster.client.copy_from_local(data, "/f", block_size=32 * 1024)
+        for block in cluster.namenode.get_file("/f").blocks:
+            assert len(block.replicas) == 2
+            for node_id in block.replicas:
+                assert cluster.namenode.get_datanode(node_id).has_block(block.block_id)
+
+    def test_placement_balances_load(self, cluster):
+        data = seeded_bytes(500_000, seed=3)
+        cluster.client.copy_from_local(data, "/f", block_size=16 * 1024)
+        used = [n.used_bytes for n in cluster.datanodes]
+        assert max(used) < 3 * (sum(used) / len(used))
+
+    def test_delete(self, cluster):
+        cluster.client.copy_from_local(b"abc" * 100, "/f")
+        cluster.client.delete("/f")
+        assert not cluster.namenode.exists("/f")
+        assert all(n.block_count == 0 for n in cluster.datanodes)
+
+
+class TestContentBasedUpload:
+    def test_roundtrip(self, cluster):
+        data = generate_text(150_000, seed=4)
+        with make_shredder() as sh:
+            cluster.client.copy_from_local_gpu(data, "/f", shredder=sh)
+        assert cluster.client.read("/f") == data
+
+    def test_roundtrip_without_semantic(self, cluster):
+        data = seeded_bytes(150_000, seed=4)
+        with make_shredder() as sh:
+            cluster.client.copy_from_local_gpu(
+                data, "/f", shredder=sh, record_delimiter=None
+            )
+        assert cluster.client.read("/f") == data
+
+    def test_splits_have_stable_digests(self, cluster):
+        """The Inc-HDFS property (§6.2): most split digests survive edits."""
+        text = generate_text(200_000, seed=5)
+        edited = mutate_records(text, 5, seed=6)
+        with make_shredder() as sh:
+            cluster.client.copy_from_local_gpu(text, "/a", shredder=sh)
+            cluster.client.copy_from_local_gpu(edited, "/b", shredder=sh)
+        a = {s.digest for s in cluster.client.get_splits("/a")}
+        b = {s.digest for s in cluster.client.get_splits("/b")}
+        assert len(a & b) > 0.6 * len(a)
+
+    def test_fixed_size_unstable_under_insertion(self, cluster):
+        """Stock HDFS splits shift after an insertion — the motivation for
+        content-based chunking in §6.2."""
+        text = generate_text(200_000, seed=5)
+        edited = b"new leading record\n" + text
+        cluster.client.copy_from_local(text, "/a", block_size=8 * 1024)
+        cluster.client.copy_from_local(edited, "/b", block_size=8 * 1024)
+        a = {s.digest for s in cluster.client.get_splits("/a")}
+        b = {s.digest for s in cluster.client.get_splits("/b")}
+        assert len(a & b) <= 1  # at most the tail block matches by luck
+
+    def test_content_splits_stable_under_insertion(self, cluster):
+        text = generate_text(200_000, seed=5)
+        edited = b"new leading record\n" + text
+        with make_shredder() as sh:
+            cluster.client.copy_from_local_gpu(text, "/a", shredder=sh)
+            cluster.client.copy_from_local_gpu(edited, "/b", shredder=sh)
+        a = {s.digest for s in cluster.client.get_splits("/a")}
+        b = {s.digest for s in cluster.client.get_splits("/b")}
+        assert len(a & b) > 0.8 * len(a)
+
+    def test_semantic_splits_are_record_aligned(self, cluster):
+        text = generate_text(120_000, seed=7)
+        with make_shredder() as sh:
+            cluster.client.copy_from_local_gpu(text, "/f", shredder=sh)
+        for split in cluster.client.get_splits("/f")[:-1]:
+            data = cluster.client.read_split(split)
+            assert data.endswith(b"\n"), "split must end at a record boundary"
+
+    def test_split_offsets_contiguous(self, cluster):
+        text = generate_text(100_000, seed=8)
+        with make_shredder() as sh:
+            cluster.client.copy_from_local_gpu(text, "/f", shredder=sh)
+        pos = 0
+        for s in cluster.client.get_splits("/f"):
+            assert s.offset == pos
+            pos += s.length
+        assert pos == len(text)
+
+
+class TestFailures:
+    def test_read_uses_surviving_replica(self, cluster):
+        data = seeded_bytes(100_000, seed=9)
+        cluster.client.copy_from_local(data, "/f", block_size=32 * 1024)
+        cluster.datanodes[0].fail()
+        assert cluster.client.read("/f") == data
+
+    def test_read_fails_when_all_replicas_down(self, cluster):
+        data = seeded_bytes(50_000, seed=9)
+        cluster.client.copy_from_local(data, "/f", block_size=32 * 1024)
+        for node in cluster.datanodes:
+            node.fail()
+        with pytest.raises(RuntimeError, match="replica"):
+            cluster.client.read("/f")
+
+    def test_recovered_node_serves(self, cluster):
+        data = seeded_bytes(50_000, seed=9)
+        cluster.client.copy_from_local(data, "/f", block_size=32 * 1024)
+        for node in cluster.datanodes:
+            node.fail()
+        for node in cluster.datanodes:
+            node.recover()
+        assert cluster.client.read("/f") == data
+
+    def test_datanode_down_rejects_io(self, cluster):
+        node = cluster.datanodes[0]
+        node.fail()
+        with pytest.raises(DataNodeDown):
+            node.store_block(1, b"x")
+
+    def test_no_datanodes(self):
+        from repro.hdfs import NameNode, HDFSClient
+
+        nn = NameNode()
+        client = HDFSClient(nn)
+        with pytest.raises(NoDataNodes):
+            client.copy_from_local(b"abc", "/f")
+
+
+class TestSemanticChunking:
+    def test_snap_moves_forward_to_delimiter(self):
+        data = b"aaaa\nbbbb\ncccc\n"
+        assert snap_cuts_to_records(data, [2, 7, 15]) == [5, 10, 15]
+
+    def test_snap_preserves_end(self):
+        data = b"aaaa\nbb"  # unterminated tail
+        assert snap_cuts_to_records(data, [3, 7]) == [5, 7]
+
+    def test_snap_merges_collapsing_cuts(self):
+        data = b"aaaaaaaaaa\nbb\n"
+        # Both cuts snap to 11.
+        assert snap_cuts_to_records(data, [2, 5, 14]) == [11, 14]
+
+    def test_snap_empty(self):
+        assert snap_cuts_to_records(b"", []) == []
+
+    def test_cut_already_after_delimiter_stays(self):
+        data = b"aaaa\nbbbb\n"
+        # A cut exactly after a delimiter is already record-aligned.
+        assert snap_cuts_to_records(data, [5, 10]) == [5, 10]
+
+    def test_split_records_handles_missing_final_newline(self):
+        assert split_records(b"a\nb") == [b"a", b"b"]
+        assert split_records(b"a\nb\n") == [b"a", b"b"]
+        assert split_records(b"") == []

@@ -1,0 +1,84 @@
+"""Tests for parallel min/max boundary selection (§9 future work)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chunking import Chunker, ChunkerConfig, select_cuts
+from repro.core.parallel_minmax import compute_jumps, parallel_select_cuts
+from tests.conftest import seeded_bytes
+
+
+class TestEquivalenceWithSequential:
+    """The central invariant: identical output to ``select_cuts``."""
+
+    @given(
+        candidates=st.lists(st.integers(1, 999), max_size=60),
+        min_size=st.integers(0, 80),
+        max_gap=st.integers(80, 400) | st.none(),
+        workers=st.integers(1, 4),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_random_equivalence(self, candidates, min_size, max_gap, workers):
+        length = 1000
+        cands = sorted(set(candidates))
+        expected = select_cuts(cands, length, min_size, max_gap)
+        actual = parallel_select_cuts(cands, length, min_size, max_gap, workers)
+        assert actual == expected
+
+    def test_empty(self):
+        assert parallel_select_cuts([], 0) == []
+        assert parallel_select_cuts([], 100) == [100]
+
+    def test_no_limits_passthrough(self):
+        assert parallel_select_cuts([10, 20], 50) == [10, 20, 50]
+
+    def test_forced_runs(self):
+        assert parallel_select_cuts([], 100, max_size=30) == select_cuts(
+            [], 100, 0, 30
+        )
+
+    def test_candidate_at_length(self):
+        assert parallel_select_cuts([50, 100], 100, min_size=10) == [50, 100]
+
+    def test_real_chunking_candidates(self):
+        """Drive with real Rabin candidates at realistic density."""
+        data = seeded_bytes(256 * 1024, seed=51)
+        chunker = Chunker(ChunkerConfig(mask_bits=8, marker=0x55))
+        cands = chunker.candidate_cuts(data)
+        for min_s, max_s in [(0, None), (128, 1024), (256, 2048), (64, 300)]:
+            assert parallel_select_cuts(cands, len(data), min_s, max_s) == \
+                select_cuts(cands, len(data), min_s, max_s)
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError, match="sorted"):
+            parallel_select_cuts([30, 10], 100)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="beyond"):
+            parallel_select_cuts([300], 100)
+
+
+class TestJumps:
+    def test_jump_table_covers_origin_and_candidates(self):
+        jumps = compute_jumps([10, 25, 60], 100, min_size=5, max_size=50)
+        assert set(jumps) == {0, 10, 25, 60}
+
+    def test_forced_progression_recorded(self):
+        jumps = compute_jumps([95], 100, min_size=0, max_size=30)
+        origin = jumps[0]
+        assert origin.forced == (30, 60, 90)
+        assert origin.target == 95
+
+    def test_unreachable_candidate_skipped_by_min(self):
+        # Candidate at 8 < min 10 is never a target from 0.
+        jumps = compute_jumps([8], 100, min_size=10, max_size=None)
+        assert jumps[0].target is None
+
+    def test_worker_count_invariance(self):
+        cands = list(range(7, 5000, 13))
+        one = parallel_select_cuts(cands, 5000, 20, 200, workers=1)
+        four = parallel_select_cuts(cands, 5000, 20, 200, workers=4)
+        assert one == four

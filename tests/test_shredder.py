@@ -1,0 +1,151 @@
+"""Tests for the Shredder facade: presets, correctness, timing shape."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.chunking import Chunker, ChunkerConfig
+from repro.core.dedup import DedupIndex
+from repro.core.shredder import Shredder, ShredderConfig
+from tests.conftest import seeded_bytes
+
+MB = 1 << 20
+GB = 1 << 30
+
+SMALL = ChunkerConfig(mask_bits=6, marker=0x2A)
+
+ALL_PRESETS = {
+    "cpu-malloc": ShredderConfig.cpu(hoard=False, chunker=SMALL, buffer_size=MB),
+    "cpu-hoard": ShredderConfig.cpu(hoard=True, chunker=SMALL, buffer_size=MB),
+    "gpu-basic": ShredderConfig.gpu_basic(chunker=SMALL, buffer_size=MB),
+    "gpu-streams": ShredderConfig.gpu_streams(chunker=SMALL, buffer_size=MB),
+    "gpu-streams-mem": ShredderConfig.gpu_streams_memory(chunker=SMALL, buffer_size=MB),
+}
+
+
+class TestConfig:
+    def test_presets_flag_matrix(self):
+        basic = ShredderConfig.gpu_basic()
+        assert not basic.double_buffering and basic.pipeline_stages == 1
+        streams = ShredderConfig.gpu_streams()
+        assert streams.double_buffering and streams.pipeline_stages == 4
+        assert not streams.coalesced_memory
+        full = ShredderConfig.gpu_streams_memory()
+        assert full.coalesced_memory
+
+    def test_invalid_backend(self):
+        with pytest.raises(ValueError):
+            ShredderConfig(backend="tpu")
+
+    def test_invalid_pipeline_depth(self):
+        with pytest.raises(ValueError):
+            ShredderConfig(pipeline_stages=5)
+
+
+class TestChunkCorrectness:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return seeded_bytes(3 * MB + 12345, seed=11)
+
+    def test_all_presets_identical_chunks(self, data):
+        reference = None
+        for name, cfg in ALL_PRESETS.items():
+            with Shredder(cfg) as s:
+                chunks, report = s.process(data)
+            assert b"".join(c.data for c in chunks) == data, name
+            digests = [c.digest for c in chunks]
+            if reference is None:
+                reference = digests
+            assert digests == reference, name
+            assert report.n_chunks == len(chunks)
+            assert report.total_bytes == len(data)
+
+    def test_matches_plain_chunker(self, data):
+        with Shredder(ShredderConfig.gpu_streams_memory(chunker=SMALL, buffer_size=MB)) as s:
+            chunks, _ = s.process(data)
+        plain = Chunker(SMALL).chunk(data)
+        assert [(c.offset, c.digest) for c in chunks] == [
+            (c.offset, c.digest) for c in plain
+        ]
+
+    def test_stream_input(self, data):
+        with Shredder(ShredderConfig.gpu_streams_memory(chunker=SMALL, buffer_size=MB)) as s:
+            whole, _ = s.process(data)
+            pieces = [data[i : i + 700000] for i in range(0, len(data), 700000)]
+            streamed, _ = s.process(iter(pieces))
+        assert [(c.offset, c.digest) for c in whole] == [
+            (c.offset, c.digest) for c in streamed
+        ]
+
+    def test_empty_input(self):
+        with Shredder(ShredderConfig.gpu_streams_memory(chunker=SMALL)) as s:
+            chunks, report = s.process(b"")
+        assert chunks == [] and report.total_bytes == 0
+
+    def test_chunk_convenience(self, data):
+        with Shredder(ShredderConfig.cpu(chunker=SMALL, buffer_size=MB)) as s:
+            assert b"".join(c.data for c in s.chunk(data)) == data
+
+    def test_dedup_integration(self, data):
+        """Duplicate content produces duplicate digests through Shredder."""
+        doubled = data + data
+        with Shredder(ShredderConfig.gpu_streams_memory(chunker=SMALL, buffer_size=MB)) as s:
+            chunks, _ = s.process(doubled)
+        index = DedupIndex()
+        stats = index.add_all(chunks)
+        assert stats.dedup_ratio > 0.4
+
+
+class TestTimingShape:
+    """Figure 12's ordering must hold in the simulated timings."""
+
+    @pytest.fixture(scope="class")
+    def throughputs(self):
+        out = {}
+        for name, factory in {
+            "cpu-malloc": ShredderConfig.cpu(hoard=False),
+            "cpu-hoard": ShredderConfig.cpu(hoard=True),
+            "gpu-basic": ShredderConfig.gpu_basic(),
+            "gpu-streams": ShredderConfig.gpu_streams(),
+            "gpu-streams-mem": ShredderConfig.gpu_streams_memory(),
+        }.items():
+            with Shredder(factory) as s:
+                out[name] = s.simulate(GB).throughput_bps
+        return out
+
+    def test_ordering(self, throughputs):
+        t = throughputs
+        assert t["cpu-malloc"] < t["cpu-hoard"] < t["gpu-basic"]
+        assert t["gpu-basic"] < t["gpu-streams"] < t["gpu-streams-mem"]
+
+    def test_gpu_basic_headline(self, throughputs):
+        """Naive GPU ~2x over host-only optimized (§5.3)."""
+        ratio = throughputs["gpu-basic"] / throughputs["cpu-hoard"]
+        assert 1.3 < ratio < 2.6
+
+    def test_full_optimization_headline(self, throughputs):
+        """'Shredder achieves a speedup of over 5X for chunking bandwidth
+        compared to our optimized parallel implementation' (§1)."""
+        ratio = throughputs["gpu-streams-mem"] / throughputs["cpu-hoard"]
+        assert ratio > 5.0
+
+    def test_full_optimization_reader_bound(self):
+        with Shredder(ShredderConfig.gpu_streams_memory()) as s:
+            report = s.simulate(GB)
+        assert report.bottleneck() == "read"
+
+    def test_basic_kernel_bound(self):
+        with Shredder(ShredderConfig.gpu_basic()) as s:
+            report = s.simulate(GB)
+        assert report.bottleneck() == "kernel"
+
+    def test_simulate_counts(self):
+        with Shredder(ShredderConfig.gpu_streams_memory(buffer_size=32 * MB)) as s:
+            report = s.simulate(GB)
+        assert report.n_buffers == 32
+        assert report.total_bytes == GB
+
+    def test_ring_setup_accounted(self):
+        with Shredder(ShredderConfig.gpu_streams_memory()) as s:
+            report = s.simulate(GB)
+        assert report.setup_seconds > 0

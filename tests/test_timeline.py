@@ -1,0 +1,135 @@
+"""Tests for serialized / double-buffered / pipelined schedules (§4.1-4.2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.timeline import (
+    PhaseCosts,
+    double_buffered_schedule,
+    pipeline_schedule,
+    serialized_schedule,
+    spare_host_cycles,
+)
+
+durations = st.floats(min_value=1e-4, max_value=1.0, allow_nan=False)
+phase_lists = st.lists(
+    st.builds(PhaseCosts, durations, durations, durations, durations),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestSerialized:
+    def test_sum(self):
+        phases = [PhaseCosts(1, 2, 3, 4)] * 3
+        assert serialized_schedule(phases).total_seconds == pytest.approx(30)
+
+    def test_empty(self):
+        assert serialized_schedule([]).total_seconds == 0
+
+
+class TestDoubleBuffered:
+    def test_single_buffer_no_gain(self):
+        phases = [PhaseCosts(1, 2, 3, 4)]
+        r = double_buffered_schedule(phases)
+        assert r.total_seconds == pytest.approx(10)
+
+    def test_copy_hidden_behind_kernel(self):
+        """With kernel >> transfer, total is governed by compute (§4.1.1:
+        'the total time is now dictated solely by the compute time')."""
+        phases = [PhaseCosts(0.0, 0.2, 1.0, 0.0)] * 8
+        r = double_buffered_schedule(phases)
+        serial = serialized_schedule(phases).total_seconds
+        assert r.total_seconds < serial
+        # All but the first copy overlap: total ~= first copy + 8 kernels.
+        assert r.total_seconds == pytest.approx(0.2 + 8 * 1.0, rel=0.05)
+
+    @given(phases=phase_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_bounds(self, phases):
+        """max(resource totals) <= concurrent <= serialized."""
+        r = double_buffered_schedule(phases)
+        serial = serialized_schedule(phases).total_seconds
+        assert r.total_seconds <= serial + 1e-9
+        kernel_total = sum(p.kernel for p in phases)
+        copy_total = sum(p.transfer for p in phases)
+        assert r.total_seconds >= max(kernel_total, copy_total) - 1e-9
+
+    @given(phases=phase_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_overlap_consistent(self, phases):
+        r = double_buffered_schedule(phases)
+        serial = serialized_schedule(phases).total_seconds
+        assert r.overlap_seconds == pytest.approx(serial - r.total_seconds)
+
+    def test_invalid_buffer_count(self):
+        with pytest.raises(ValueError):
+            double_buffered_schedule([PhaseCosts(1, 1, 1, 1)], device_buffers=0)
+
+
+class TestPipeline:
+    def test_one_stage_is_serial(self):
+        phases = [PhaseCosts(1, 1, 1, 1)] * 4
+        r = pipeline_schedule(phases, stages=1)
+        assert r.total_seconds == pytest.approx(16)
+
+    def test_four_stage_steady_state(self):
+        """Equal-cost stages: n buffers take ~(n + stages - 1) stage-times."""
+        phases = [PhaseCosts(1, 1, 1, 1)] * 10
+        r = pipeline_schedule(phases, stages=4, max_in_flight=4)
+        assert r.total_seconds == pytest.approx(4 + 9 * 1, rel=0.2)
+
+    def test_speedup_increases_with_stages(self):
+        phases = [PhaseCosts(0.25, 0.18, 0.5, 0.05)] * 16
+        totals = [
+            pipeline_schedule(phases, stages=s).total_seconds for s in (1, 2, 3, 4)
+        ]
+        assert totals[0] > totals[1] > totals[2] >= totals[3]
+
+    def test_speedup_below_stage_count(self):
+        """Fig. 9: unequal stage costs keep speedup under the theoretical
+        maximum of 4x (paper measures ~2x)."""
+        phases = [PhaseCosts(0.25, 0.18, 0.5, 0.05)] * 32
+        serial = pipeline_schedule(phases, stages=1).total_seconds
+        full = pipeline_schedule(phases, stages=4).total_seconds
+        speedup = serial / full
+        assert 1.5 < speedup < 4.0
+
+    @given(phases=phase_lists, stages=st.integers(1, 4))
+    @settings(max_examples=100, deadline=None)
+    def test_bottleneck_bound(self, phases, stages):
+        """Pipelined time is at least the largest per-resource total."""
+        r = pipeline_schedule(phases, stages=stages)
+        resource_totals = [0.0] * stages
+        for p in phases:
+            for phase_idx, cost in enumerate(p.as_tuple()):
+                resource_totals[min(phase_idx, stages - 1)] += cost
+        assert r.total_seconds >= max(resource_totals) - 1e-9
+        assert r.total_seconds <= serialized_schedule(phases).total_seconds + 1e-9
+
+    @given(phases=phase_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_more_in_flight_never_slower(self, phases):
+        a = pipeline_schedule(phases, stages=4, max_in_flight=1).total_seconds
+        b = pipeline_schedule(phases, stages=4, max_in_flight=4).total_seconds
+        assert b <= a + 1e-9
+
+    def test_invalid_stage_count(self):
+        with pytest.raises(ValueError):
+            pipeline_schedule([PhaseCosts(1, 1, 1, 1)], stages=5)
+
+
+class TestSpareCycles:
+    def test_table2_magnitude(self):
+        """256 MB buffer: ~171 ms device time -> ~5e8 ticks @2.67 GHz."""
+        ticks = spare_host_cycles(171.4e-3, 0.09e-3)
+        assert ticks == pytest.approx(4.57e8, rel=0.05)
+
+    def test_launch_subtracted(self):
+        assert spare_host_cycles(1.0, 1.0) == 0.0
+
+    def test_never_negative(self):
+        assert spare_host_cycles(0.1, 0.5) == 0.0

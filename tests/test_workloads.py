@@ -1,0 +1,148 @@
+"""Tests for workload generators and mutation operators."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import (
+    delete_fraction,
+    generate_points,
+    generate_text,
+    insert_fraction,
+    mutate,
+    mutate_records,
+    record_count,
+    replace_fraction,
+    seeded_bytes,
+)
+
+
+class TestSeededBytes:
+    def test_deterministic(self):
+        assert seeded_bytes(1000, 5) == seeded_bytes(1000, 5)
+
+    def test_seed_sensitivity(self):
+        assert seeded_bytes(1000, 5) != seeded_bytes(1000, 6)
+
+    def test_length(self):
+        assert len(seeded_bytes(12345)) == 12345
+
+    def test_roughly_uniform(self):
+        data = seeded_bytes(100_000, 1)
+        counts = [0] * 256
+        for b in data:
+            counts[b] += 1
+        assert min(counts) > 200  # each byte value occurs
+
+
+class TestByteMutations:
+    @given(frac=st.floats(0.0, 0.5), seed=st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_replace_preserves_length(self, frac, seed):
+        data = seeded_bytes(20_000, 3)
+        assert len(replace_fraction(data, frac, seed)) == len(data)
+
+    def test_replace_zero_is_identity(self):
+        data = seeded_bytes(5000, 3)
+        assert replace_fraction(data, 0.0) == data
+
+    def test_replace_changes_about_fraction(self):
+        data = seeded_bytes(100_000, 3)
+        out = replace_fraction(data, 0.10, seed=4)
+        diff = sum(a != b for a, b in zip(data, out))
+        assert 0.05 * len(data) < diff < 0.15 * len(data)
+
+    def test_insert_grows(self):
+        data = seeded_bytes(50_000, 3)
+        out = insert_fraction(data, 0.10, seed=4)
+        assert len(out) == pytest.approx(len(data) * 1.10, rel=0.05)
+
+    def test_delete_shrinks(self):
+        data = seeded_bytes(50_000, 3)
+        out = delete_fraction(data, 0.10, seed=4)
+        assert len(out) < len(data)
+
+    def test_mutate_modes(self):
+        data = seeded_bytes(30_000, 3)
+        for mode in ("replace", "insert", "delete", "mixed"):
+            out = mutate(data, 10, mode=mode, seed=7)
+            assert out != data
+
+    def test_mutate_unknown_mode(self):
+        with pytest.raises(ValueError):
+            mutate(b"xx", 10, mode="scramble")
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            replace_fraction(b"abc", 1.5)
+
+
+class TestTextGeneration:
+    def test_size_approximate(self):
+        text = generate_text(50_000, seed=1)
+        assert 50_000 <= len(text) < 51_000
+
+    def test_newline_terminated_records(self):
+        text = generate_text(10_000, seed=1)
+        assert text.endswith(b"\n")
+        assert record_count(text) > 50
+
+    def test_deterministic(self):
+        assert generate_text(5000, seed=2) == generate_text(5000, seed=2)
+
+    def test_words_are_lowercase_ascii(self):
+        text = generate_text(5000, seed=3)
+        for line in text.split(b"\n"):
+            for word in line.split():
+                assert word.isalpha() and word.islower()
+
+
+class TestPointsGeneration:
+    def test_parseable(self):
+        from repro.mapreduce.applications.kmeans import parse_point
+
+        data = generate_points(500, seed=1)
+        for line in data.strip().split(b"\n"):
+            x, y = parse_point(line)
+            assert -1.0 < x < 2.0 and -1.0 < y < 2.0
+
+    def test_count(self):
+        assert record_count(generate_points(750, seed=1)) == 750
+
+
+class TestRecordMutation:
+    def test_zero_identity(self):
+        text = generate_text(10_000, seed=1)
+        assert mutate_records(text, 0) == text
+
+    def test_preserves_record_structure(self):
+        text = generate_text(20_000, seed=1)
+        out = mutate_records(text, 10, seed=2)
+        assert out.endswith(b"\n")
+        # Record count unchanged: replacement, not insertion.
+        assert record_count(out) == record_count(text)
+
+    def test_changes_about_percent(self):
+        text = generate_text(60_000, seed=1)
+        a = text.split(b"\n")
+        b = mutate_records(text, 20, seed=2).split(b"\n")
+        changed = sum(x != y for x, y in zip(a, b))
+        assert 0.12 * len(a) < changed < 0.28 * len(a)
+
+    def test_points_kind_stays_parseable(self):
+        from repro.mapreduce.applications.kmeans import parse_point
+
+        data = generate_points(2000, seed=1)
+        out = mutate_records(data, 15, seed=3, kind="points")
+        for line in out.strip().split(b"\n"):
+            parse_point(line)
+
+    def test_invalid_percent(self):
+        with pytest.raises(ValueError):
+            mutate_records(b"a\n", 150)
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            mutate_records(b"a\n", 5, kind="json")

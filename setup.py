@@ -1,3 +1,27 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="shredder-repro",
+    version="0.1.0",
+    description=(
+        "Reproduction of Shredder (FAST 2012): GPU-accelerated "
+        "content-based chunking for incremental storage and computation"
+    ),
+    long_description=(
+        "Modeled reproduction of the Shredder paper's pipelines — "
+        "content-based chunking, dedup backup with a sharded "
+        "chunk-store cluster, Inc-HDFS, and incremental MapReduce."
+    ),
+    author="paper-repo-growth",
+    license="MIT",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+    classifiers=[
+        "Development Status :: 3 - Alpha",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Topic :: System :: Archiving :: Backup",
+    ],
+)

@@ -19,6 +19,13 @@ steady-state bandwidth is the input size over the slowest stage —
 * the *unoptimized* index lookup plus network shipping of unique bytes —
   the component the paper blames for bandwidth dropping as similarity
   decreases.
+
+With ``store_backend="cluster"`` the backup site is a sharded,
+replicated :class:`~repro.store.cluster.ChunkStoreCluster` and the
+index stage runs through its batched, Bloom-filtered lookup path —
+the optimization §7.3's closing discussion points at: the per-digest
+dispatch cost amortizes over the batch and negative lookups stop
+paying the full-index miss price.
 """
 
 from __future__ import annotations
@@ -29,6 +36,9 @@ from repro.backup.agent import ShredderAgent, TransferLog
 from repro.core.chunking import ChunkerConfig
 from repro.core.dedup import DedupIndex
 from repro.core.shredder import Shredder, ShredderConfig
+from repro.store.cluster import ChunkStoreCluster
+from repro.store.lookup import BatchLookupStats, LookupCostModel
+from repro.store.schemes import make_scheme
 
 __all__ = ["BackupConfig", "BackupReport", "BackupServer"]
 
@@ -58,10 +68,30 @@ class BackupConfig:
     #: Extra Store-thread cost per byte when min/max filtering runs on the
     #: host after an unmodified GPU scan (the §7.3 limitation).
     minmax_filter_s_per_byte: float = 4e-10
+    #: Backup-site store: "single" (flat in-memory ChunkStore) or
+    #: "cluster" (sharded/replicated store behind batched Bloom lookups).
+    store_backend: str = "single"
+    #: Cluster sizing and placement (ignored for the single backend).
+    cluster_nodes: int = 4
+    placement: str = "replicated"  # "vanilla" | "striped" | "replicated"
+    replication: int = 2
+    stripe_width: int = 4
+    #: Batched-lookup knobs: digests per batch, per-batch dispatch cost,
+    #: and the in-memory Bloom probe that replaces full-index misses.
+    lookup_batch_size: int = 128
+    batch_rtt_s: float = 5e-5
+    bloom_probe_s: float = 2e-7
+    bloom_fp_rate: float = 0.01
 
     def __post_init__(self) -> None:
         if self.backend not in ("gpu", "cpu"):
             raise ValueError(f"unknown backend {self.backend!r}")
+        if self.store_backend not in ("single", "cluster"):
+            raise ValueError(f"unknown store backend {self.store_backend!r}")
+        if self.cluster_nodes < 1:
+            raise ValueError("cluster_nodes must be >= 1")
+        if self.lookup_batch_size < 1:
+            raise ValueError("lookup_batch_size must be >= 1")
 
 
 @dataclass
@@ -75,6 +105,8 @@ class BackupReport:
     shipped_bytes: int
     stage_seconds: dict[str, float]
     transfer: TransferLog
+    #: Batched-lookup outcome counters (cluster backend only).
+    lookup_stats: BatchLookupStats | None = None
 
     @property
     def simulated_seconds(self) -> float:
@@ -105,6 +137,34 @@ class BackupServer:
         agent: ShredderAgent | None = None,
     ) -> None:
         self.config = config or BackupConfig()
+        self.cluster: ChunkStoreCluster | None = None
+        if self.config.store_backend == "cluster":
+            if agent is not None:
+                # An agent carries its own site store; pairing it with
+                # the cluster would ship chunks past the store the
+                # lookup path probes, silently disabling dedup.
+                raise ValueError(
+                    "store_backend='cluster' manages its own backup-site "
+                    "agent; do not pass one"
+                )
+            cfg = self.config
+            self.cluster = ChunkStoreCluster(
+                n_nodes=cfg.cluster_nodes,
+                scheme=make_scheme(
+                    cfg.placement,
+                    replicas=cfg.replication,
+                    stripe_width=cfg.stripe_width,
+                ),
+                batch_size=cfg.lookup_batch_size,
+                bloom_fp_rate=cfg.bloom_fp_rate,
+                cost_model=LookupCostModel(
+                    hit_s=cfg.lookup_hit_s,
+                    miss_s=cfg.lookup_miss_s,
+                    bloom_probe_s=cfg.bloom_probe_s,
+                    batch_rtt_s=cfg.batch_rtt_s,
+                ),
+            )
+            agent = ShredderAgent(store=self.cluster)
         self.agent = agent or ShredderAgent()
         self.index = DedupIndex()
         if self.config.backend == "gpu":
@@ -138,11 +198,34 @@ class BackupServer:
         cfg = self.config
         chunks, shred_report = self.shredder.process(data)
 
+        # One batched index probe for the whole snapshot (the per-chunk
+        # lookup loop this replaces is the §7.3 "unoptimized" shape).
+        lookup_stats: BatchLookupStats | None = None
+        if self.cluster is not None:
+            # The cluster is authoritative: hits are chunks some shard
+            # already stores.  Repeats of a new digest within this
+            # snapshot become pointers once the first copy has shipped.
+            hit_map, lookup_stats = self.cluster.lookup_batch(
+                [c.digest for c in chunks]
+            )
+            seen: set[bytes] = set()
+            decisions = []
+            for chunk in chunks:
+                decisions.append(hit_map[chunk.digest] or chunk.digest in seen)
+                seen.add(chunk.digest)
+            # Keep the server-side index warm so both backends expose
+            # identical dedup statistics.
+            self.index.lookup_or_insert_batch(chunks)
+        else:
+            decisions = [
+                is_dup
+                for is_dup, _ in self.index.lookup_or_insert_batch(chunks)
+            ]
+
         self.agent.begin_snapshot(snapshot_id)
         duplicates = 0
         shipped = 0
-        for chunk in chunks:
-            is_dup, _ = self.index.lookup_or_insert(chunk)
+        for chunk, is_dup in zip(chunks, decisions):
             if is_dup:
                 duplicates += 1
                 self.agent.receive_pointer(snapshot_id, chunk.digest)
@@ -158,15 +241,17 @@ class BackupServer:
         ):
             chunk_seconds += n * cfg.minmax_filter_s_per_byte
         unique = len(chunks) - duplicates
+        if lookup_stats is not None:
+            lookup_seconds = self.cluster.lookup.modeled_seconds(lookup_stats)
+        else:
+            lookup_seconds = (
+                duplicates * cfg.lookup_hit_s + unique * cfg.lookup_miss_s
+            )
         stage_seconds = {
             "generation": n / cfg.generation_bandwidth,
             "chunking": chunk_seconds,
             "hashing": n / cfg.hash_bandwidth,
-            "index+network": (
-                duplicates * cfg.lookup_hit_s
-                + unique * cfg.lookup_miss_s
-                + shipped / cfg.link_bandwidth
-            ),
+            "index+network": lookup_seconds + shipped / cfg.link_bandwidth,
         }
         return BackupReport(
             snapshot_id=snapshot_id,
@@ -176,4 +261,5 @@ class BackupServer:
             shipped_bytes=shipped,
             stage_seconds=stage_seconds,
             transfer=transfer,
+            lookup_stats=lookup_stats,
         )

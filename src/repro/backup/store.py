@@ -63,7 +63,7 @@ class ChunkStore:
     def restore(self, snapshot_id: str) -> bytes:
         """Reassemble a snapshot from its recipe (the agent's job)."""
         recipe = self.get_recipe(snapshot_id)
-        return b"".join(self._chunks[d] for d in recipe.digests)
+        return b"".join(self.get_chunk(d) for d in recipe.digests)
 
     def delete_recipe(self, snapshot_id: str) -> None:
         """Drop a snapshot's recipe (retention expiry).  Chunks remain

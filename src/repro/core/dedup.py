@@ -10,6 +10,7 @@ memoization keys.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable, Sequence
 
 from repro.core.chunking import Chunk
 
@@ -72,6 +73,28 @@ class DedupIndex:
         self.stats.unique_chunks += 1
         self.stats.unique_bytes += chunk.length
         return False, chunk.offset
+
+    def lookup_batch(self, digests: Iterable[bytes]) -> list[int | None]:
+        """Resolve many digests against the current index in one call.
+
+        Read-only: nothing is inserted and stats are untouched, so
+        repeats of an unseen digest within one batch all resolve to
+        ``None``.  This is the probe shape the batched cluster lookup
+        path shares (one request, many digests) — use
+        :meth:`lookup_or_insert_batch` for the stateful backup flow.
+        """
+        index = self._index
+        return [index.get(d) for d in digests]
+
+    def lookup_or_insert_batch(self, chunks: Sequence[Chunk]) -> list[tuple[bool, int]]:
+        """Batched :meth:`lookup_or_insert` over a chunk sequence.
+
+        Semantically identical to the per-chunk loop the backup server
+        used to run — intra-batch duplicates resolve against earlier
+        chunks of the same batch — but gives callers one call site to
+        amortize, keeping the single-node and cluster paths symmetric.
+        """
+        return [self.lookup_or_insert(chunk) for chunk in chunks]
 
     def add_all(self, chunks) -> DedupStats:
         """Feed a chunk sequence through the index; returns the stats."""

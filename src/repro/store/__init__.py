@@ -1,0 +1,49 @@
+"""Sharded content-addressed chunk-store cluster (scale-out backup site).
+
+Layers, bottom up: :mod:`~repro.store.ring` (consistent hashing),
+:mod:`~repro.store.bloom` (negative-lookup filters),
+:mod:`~repro.store.node` (per-shard stores), :mod:`~repro.store.schemes`
+(pluggable placement), :mod:`~repro.store.lookup` (batched async
+probes), :mod:`~repro.store.cluster` (the ChunkStore-compatible facade
+with failure recovery and cluster-wide GC).
+"""
+
+from repro.store.bloom import BloomFilter
+from repro.store.cluster import (
+    ChunkStoreCluster,
+    MigrationReport,
+    RepairReport,
+    UnrecoverableChunkError,
+)
+from repro.store.lookup import BatchedLookup, BatchLookupStats, LookupCostModel
+from repro.store.node import NodeDownError, NodeStats, ProbeResult, StoreNode
+from repro.store.ring import DEFAULT_VNODES, HashRing
+from repro.store.schemes import (
+    PlacementScheme,
+    ReplicatedPlacement,
+    StripedPlacement,
+    VanillaPlacement,
+    make_scheme,
+)
+
+__all__ = [
+    "BloomFilter",
+    "ChunkStoreCluster",
+    "MigrationReport",
+    "RepairReport",
+    "UnrecoverableChunkError",
+    "BatchedLookup",
+    "BatchLookupStats",
+    "LookupCostModel",
+    "NodeDownError",
+    "NodeStats",
+    "ProbeResult",
+    "StoreNode",
+    "DEFAULT_VNODES",
+    "HashRing",
+    "PlacementScheme",
+    "ReplicatedPlacement",
+    "StripedPlacement",
+    "VanillaPlacement",
+    "make_scheme",
+]

@@ -1,0 +1,328 @@
+"""Sharded, replicated, content-addressed chunk-store cluster.
+
+The scale-out generalisation of :class:`repro.backup.store.ChunkStore`:
+chunks are partitioned across :class:`~repro.store.node.StoreNode`
+shards by a consistent-hash ring, placed according to a pluggable
+:class:`~repro.store.schemes.PlacementScheme`, probed through the
+batched Bloom-filtered lookup path, and kept durable across node loss
+by recipe-driven re-replication.
+
+The cluster exposes the same duck-typed surface as the single-node
+``ChunkStore`` (``put_chunk`` / ``has_chunk`` / ``get_chunk`` /
+``put_recipe`` / ``restore`` / ``garbage_collect`` / ...), so the
+backup-site :class:`~repro.backup.agent.ShredderAgent` runs against
+either backend unchanged — that is what makes the single-node and
+cluster backup paths byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.store.lookup import BatchedLookup, BatchLookupStats, LookupCostModel
+from repro.store.node import StoreNode
+from repro.store.ring import DEFAULT_VNODES, HashRing
+from repro.store.schemes import PlacementScheme, ReplicatedPlacement
+
+if TYPE_CHECKING:  # annotation-only: keeps repro.store import-clean of repro.backup
+    from repro.backup.store import SnapshotRecipe
+
+__all__ = [
+    "ChunkStoreCluster",
+    "RepairReport",
+    "MigrationReport",
+    "UnrecoverableChunkError",
+]
+
+
+class UnrecoverableChunkError(KeyError):
+    """A recipe references chunks no surviving node holds."""
+
+    def __init__(self, digests: tuple[bytes, ...]) -> None:
+        self.digests = digests
+        preview = ", ".join(d.hex()[:16] for d in digests[:3])
+        super().__init__(
+            f"{len(digests)} chunk(s) unrecoverable (no surviving replica): "
+            f"{preview}{'...' if len(digests) > 3 else ''}"
+        )
+
+
+@dataclass
+class RepairReport:
+    """Outcome of one recipe-driven re-replication pass."""
+
+    chunks_scanned: int = 0
+    chunks_recopied: int = 0
+    bytes_copied: int = 0
+    unrecoverable: tuple[bytes, ...] = ()
+
+    @property
+    def healthy(self) -> bool:
+        return not self.unrecoverable
+
+
+@dataclass
+class MigrationReport:
+    """Chunks moved by a rebalance or decommission."""
+
+    chunks_moved: int = 0
+    bytes_moved: int = 0
+    chunks_dropped: int = 0
+
+
+class ChunkStoreCluster:
+    """Cluster of chunk-store shards behind one ChunkStore-shaped API."""
+
+    def __init__(
+        self,
+        n_nodes: int = 4,
+        scheme: PlacementScheme | None = None,
+        vnodes: int = DEFAULT_VNODES,
+        bloom_capacity: int = 1 << 14,
+        bloom_fp_rate: float = 0.01,
+        batch_size: int = 128,
+        cost_model: LookupCostModel | None = None,
+        node_prefix: str = "node",
+    ) -> None:
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        self.scheme = scheme or ReplicatedPlacement(min(2, n_nodes))
+        self.ring = HashRing(vnodes=vnodes)
+        self._nodes: dict[str, StoreNode] = {}
+        self._bloom_capacity = bloom_capacity
+        self._bloom_fp_rate = bloom_fp_rate
+        self._recipes: dict[str, SnapshotRecipe] = {}
+        for i in range(n_nodes):
+            self.add_node(f"{node_prefix}-{i}")
+        self.scheme.validate(self.ring)
+        self.lookup = BatchedLookup(
+            self.ring, self.scheme, self._nodes, batch_size, cost_model
+        )
+
+    # -- node plumbing -------------------------------------------------
+
+    def _alive_nodes(self) -> list[StoreNode]:
+        return [n for n in self._nodes.values() if n.alive]
+
+    def _placement(self, digest: bytes) -> list[StoreNode]:
+        """Alive nodes the scheme targets for this digest."""
+        return [
+            self._nodes[nid]
+            for nid in self.scheme.nodes_for(self.ring, digest)
+            if self._nodes[nid].alive
+        ]
+
+    def _holder(self, digest: bytes) -> StoreNode | None:
+        """Any alive node holding the chunk: placement first, then a
+        degraded-mode scan (a replica may be off-placement mid-repair)."""
+        placed = self._placement(digest)
+        for node in placed:
+            if node.holds(digest):
+                return node
+        for node in self._alive_nodes():
+            if node not in placed and node.holds(digest):
+                return node
+        return None
+
+    # -- ChunkStore-compatible surface ---------------------------------
+
+    def put_chunk(self, digest: bytes, data: bytes) -> bool:
+        """Store a chunk on every placement target; False if known."""
+        known = self._holder(digest) is not None
+        for node in self._placement(digest):
+            node.put_chunk(digest, data)
+        return not known
+
+    def has_chunk(self, digest: bytes) -> bool:
+        return self._holder(digest) is not None
+
+    def get_chunk(self, digest: bytes) -> bytes:
+        node = self._holder(digest)
+        if node is None:
+            raise KeyError(
+                f"chunk {digest.hex()[:16]} missing from cluster "
+                f"({len(self._alive_nodes())}/{len(self._nodes)} nodes alive)"
+            )
+        return node.get_chunk(digest)
+
+    def put_recipe(self, recipe: SnapshotRecipe) -> None:
+        if recipe.snapshot_id in self._recipes:
+            raise ValueError(f"snapshot {recipe.snapshot_id!r} already stored")
+        missing = [d for d in recipe.digests if not self.has_chunk(d)]
+        if missing:
+            raise ValueError(
+                f"recipe {recipe.snapshot_id!r} references {len(missing)} "
+                "missing chunks"
+            )
+        self._recipes[recipe.snapshot_id] = recipe
+
+    def get_recipe(self, snapshot_id: str) -> SnapshotRecipe:
+        try:
+            return self._recipes[snapshot_id]
+        except KeyError:
+            raise KeyError(f"no snapshot {snapshot_id!r}") from None
+
+    def restore(self, snapshot_id: str) -> bytes:
+        """Reassemble a snapshot, pulling each chunk from any replica."""
+        recipe = self.get_recipe(snapshot_id)
+        return b"".join(self.get_chunk(d) for d in recipe.digests)
+
+    def delete_recipe(self, snapshot_id: str) -> None:
+        if snapshot_id not in self._recipes:
+            raise KeyError(f"no snapshot {snapshot_id!r}")
+        del self._recipes[snapshot_id]
+
+    def garbage_collect(self) -> int:
+        """Cluster-wide mark-and-sweep; returns physical bytes freed.
+
+        Marks every digest referenced by any recipe, then sweeps each
+        alive node (which rebuilds its Bloom filter, since filters
+        cannot unlearn deleted keys).
+        """
+        live: set[bytes] = set()
+        for recipe in self._recipes.values():
+            live.update(recipe.digests)
+        return sum(node.sweep(live) for node in self._alive_nodes())
+
+    # -- batched lookup ------------------------------------------------
+
+    def lookup_batch(
+        self, digests
+    ) -> tuple[dict[bytes, bool], BatchLookupStats]:
+        """Batched, Bloom-filtered membership query (see lookup.py)."""
+        return self.lookup.lookup_batch(digests)
+
+    # -- membership / failure / recovery -------------------------------
+
+    def add_node(self, node_id: str | None = None) -> str:
+        """Register a fresh node on the ring; no data moves until
+        :meth:`rebalance` runs."""
+        if node_id is None:
+            node_id = f"node-{len(self._nodes)}"
+        if node_id in self._nodes:
+            raise ValueError(f"node {node_id!r} already exists")
+        self._nodes[node_id] = StoreNode(
+            node_id, self._bloom_capacity, self._bloom_fp_rate
+        )
+        self.ring.add_node(node_id)
+        return node_id
+
+    def fail_node(self, node_id: str) -> None:
+        """Crash a node: its shard contents are lost and it leaves the
+        ring, so placements immediately stop targeting it."""
+        node = self._node(node_id)
+        node.fail()
+        self.ring.remove_node(node_id)
+
+    def decommission(self, node_id: str) -> MigrationReport:
+        """Gracefully drain a node: re-place its chunks, then retire it."""
+        node = self._node(node_id)
+        if not node.alive:
+            raise ValueError(f"node {node_id!r} is down; use repair()")
+        self.ring.remove_node(node_id)
+        self.scheme.validate(self.ring)
+        report = MigrationReport()
+        for digest in node.digests():
+            data = node.get_chunk(digest)
+            for target in self._placement(digest):
+                if target.put_chunk(digest, data):
+                    report.chunks_moved += 1
+                    report.bytes_moved += len(data)
+            report.chunks_dropped += 1
+        node.fail()  # retire: contents dropped after migration
+        return report
+
+    def repair(self) -> RepairReport:
+        """Recipe-driven re-replication after failures or ring changes.
+
+        Walks every digest referenced by any recipe, re-derives its
+        placement on the current ring, and copies from any surviving
+        replica to targets that lack it.  Digests with no surviving
+        replica are reported as unrecoverable (the data is gone; the
+        snapshot cannot be restored).
+        """
+        live: set[bytes] = set()
+        for recipe in self._recipes.values():
+            live.update(recipe.digests)
+        report = RepairReport(chunks_scanned=len(live))
+        lost: list[bytes] = []
+        for digest in live:
+            holder = self._holder(digest)
+            if holder is None:
+                lost.append(digest)
+                continue
+            data = holder.get_chunk(digest)
+            for target in self._placement(digest):
+                if not target.holds(digest):
+                    target.put_chunk(digest, data)
+                    report.chunks_recopied += 1
+                    report.bytes_copied += len(data)
+        report.unrecoverable = tuple(lost)
+        return report
+
+    def rebalance(self) -> MigrationReport:
+        """Move chunks to their current placement after a ring resize.
+
+        Copies each chunk to placement targets missing it and drops
+        copies from nodes the scheme no longer targets.
+        """
+        report = MigrationReport()
+        for digest in self.digests():
+            targets = self._placement(digest)
+            holder = self._holder(digest)
+            data = holder.get_chunk(digest)
+            for target in targets:
+                if target.put_chunk(digest, data):
+                    report.chunks_moved += 1
+                    report.bytes_moved += len(data)
+            for node in self._alive_nodes():
+                if node not in targets and node.holds(digest):
+                    node.delete_chunk(digest)
+                    report.chunks_dropped += 1
+        return report
+
+    def _node(self, node_id: str) -> StoreNode:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise KeyError(f"no node {node_id!r}") from None
+
+    # -- accounting ----------------------------------------------------
+
+    def digests(self) -> set[bytes]:
+        """Distinct digests held anywhere in the cluster."""
+        out: set[bytes] = set()
+        for node in self._alive_nodes():
+            out.update(node.digests())
+        return out
+
+    @property
+    def nodes(self) -> dict[str, StoreNode]:
+        return dict(self._nodes)
+
+    @property
+    def n_nodes_alive(self) -> int:
+        return len(self._alive_nodes())
+
+    @property
+    def chunk_count(self) -> int:
+        """Distinct chunks (replicas counted once), matching ChunkStore."""
+        return len(self.digests())
+
+    @property
+    def stored_bytes(self) -> int:
+        """Physical bytes across all replicas on all alive nodes."""
+        return sum(node.stored_bytes for node in self._alive_nodes())
+
+    @property
+    def unique_bytes(self) -> int:
+        """Logical bytes: one copy per distinct chunk."""
+        return sum(len(self.get_chunk(d)) for d in self.digests())
+
+    @property
+    def snapshot_count(self) -> int:
+        return len(self._recipes)
+
+    def replica_count(self, digest: bytes) -> int:
+        return sum(1 for n in self._alive_nodes() if n.holds(digest))

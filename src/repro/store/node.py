@@ -1,0 +1,159 @@
+"""One store node: a content-addressed chunk shard with a Bloom front-end.
+
+Each node owns an arc of the consistent-hash ring and keeps its own
+digest -> payload map plus a Bloom filter that short-circuits negative
+membership probes.  Probe outcomes are classified so the batched lookup
+path (:mod:`repro.store.lookup`) can charge the §7.3 timing model
+per-outcome: Bloom negatives never touch the index, false positives pay
+the full miss cost, hits pay the hit cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.store.bloom import BloomFilter
+
+__all__ = ["NodeDownError", "NodeStats", "ProbeResult", "StoreNode"]
+
+
+class NodeDownError(RuntimeError):
+    """Raised when an operation reaches a failed node."""
+
+
+class ProbeResult(Enum):
+    HIT = "hit"
+    BLOOM_NEGATIVE = "bloom_negative"  # filter said absent: no index walk
+    FALSE_POSITIVE = "false_positive"  # filter said maybe, index said no
+
+
+@dataclass
+class NodeStats:
+    """Per-node operation counters."""
+
+    puts: int = 0
+    probes: int = 0
+    hits: int = 0
+    bloom_negatives: int = 0
+    false_positives: int = 0
+
+
+class StoreNode:
+    """In-memory chunk shard; the unit of failure and recovery."""
+
+    def __init__(
+        self,
+        node_id: str,
+        bloom_capacity: int = 1 << 14,
+        bloom_fp_rate: float = 0.01,
+    ) -> None:
+        self.node_id = node_id
+        self.alive = True
+        self.stats = NodeStats()
+        self._bloom_fp_rate = bloom_fp_rate
+        self._chunks: dict[bytes, bytes] = {}
+        self._bloom = BloomFilter(bloom_capacity, bloom_fp_rate)
+
+    def _require_alive(self) -> None:
+        if not self.alive:
+            raise NodeDownError(f"node {self.node_id!r} is down")
+
+    # -- chunk operations ----------------------------------------------
+
+    def put_chunk(self, digest: bytes, data: bytes) -> bool:
+        """Store a chunk; returns False if already present on this node."""
+        self._require_alive()
+        self.stats.puts += 1
+        if digest in self._chunks:
+            return False
+        self._chunks[digest] = bytes(data)
+        self._bloom.add(digest)
+        if self._bloom.n_added > self._bloom.capacity:
+            self._rebuild_bloom(grow=True)
+        return True
+
+    def probe(self, digest: bytes) -> ProbeResult:
+        """Membership probe, classified for the lookup cost model."""
+        self._require_alive()
+        self.stats.probes += 1
+        if digest not in self._bloom:
+            self.stats.bloom_negatives += 1
+            return ProbeResult.BLOOM_NEGATIVE
+        if digest in self._chunks:
+            self.stats.hits += 1
+            return ProbeResult.HIT
+        self.stats.false_positives += 1
+        return ProbeResult.FALSE_POSITIVE
+
+    def has_chunk(self, digest: bytes) -> bool:
+        return self.probe(digest) is ProbeResult.HIT
+
+    def holds(self, digest: bytes) -> bool:
+        """Raw membership check for the control plane (repair, GC,
+        placement): no Bloom probe, no stats — not a data-plane lookup."""
+        self._require_alive()
+        return digest in self._chunks
+
+    def get_chunk(self, digest: bytes) -> bytes:
+        self._require_alive()
+        try:
+            return self._chunks[digest]
+        except KeyError:
+            raise KeyError(
+                f"chunk {digest.hex()[:16]} missing from node {self.node_id!r}"
+            ) from None
+
+    def delete_chunk(self, digest: bytes) -> int:
+        """Drop one chunk; returns bytes freed (0 if absent)."""
+        self._require_alive()
+        data = self._chunks.pop(digest, None)
+        return 0 if data is None else len(data)
+
+    def digests(self) -> tuple[bytes, ...]:
+        self._require_alive()
+        return tuple(self._chunks)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def fail(self) -> None:
+        """Simulate a crash: the node and its shard contents are gone."""
+        self.alive = False
+        self._chunks.clear()
+        self._bloom.clear()
+
+    def sweep(self, live: set[bytes]) -> int:
+        """Drop chunks not in ``live``; returns bytes freed.
+
+        Bloom filters cannot delete, so the filter is rebuilt from the
+        surviving chunk set — this is why cluster GC batches the sweep.
+        """
+        self._require_alive()
+        freed = 0
+        for digest in [d for d in self._chunks if d not in live]:
+            freed += len(self._chunks.pop(digest))
+        self._rebuild_bloom()
+        return freed
+
+    def _rebuild_bloom(self, grow: bool = False) -> None:
+        capacity = self._bloom.capacity * (2 if grow else 1)
+        self._bloom = BloomFilter(capacity, self._bloom_fp_rate)
+        for digest in self._chunks:
+            self._bloom.add(digest)
+
+    # -- accounting ----------------------------------------------------
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self._chunks)
+
+    @property
+    def stored_bytes(self) -> int:
+        return sum(len(c) for c in self._chunks.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.alive else "DOWN"
+        return (
+            f"StoreNode({self.node_id!r}, {state}, "
+            f"{self.chunk_count} chunks, {self.stored_bytes} B)"
+        )

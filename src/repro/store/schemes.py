@@ -1,0 +1,114 @@
+"""Pluggable chunk placement schemes over the consistent-hash ring.
+
+Follows the jewel storage-scheme idiom (SNIPPETS.md): a small base
+class fixes the contract — given a ring and a digest, name the nodes
+that must hold the chunk — and each concrete scheme is one policy:
+
+* :class:`VanillaPlacement` — one copy on the primary owner;
+* :class:`StripedPlacement` — one copy striped across a window of the
+  preference list, spreading hot digest ranges over several nodes;
+* :class:`ReplicatedPlacement` — ``r`` copies on the first ``r``
+  distinct successors, the scheme that survives node loss.
+
+Schemes are deterministic functions of (ring membership, digest), so
+every component — writer, batched lookup, repair — independently
+derives identical placements without a central directory.
+"""
+
+from __future__ import annotations
+
+from repro.store.ring import HashRing
+
+__all__ = [
+    "PlacementScheme",
+    "VanillaPlacement",
+    "StripedPlacement",
+    "ReplicatedPlacement",
+    "make_scheme",
+]
+
+
+class PlacementScheme:
+    """Base class: maps a chunk digest to the node ids that store it."""
+
+    #: Short scheme identifier (CLI / config facing).
+    name: str = "base"
+    #: Copies kept per chunk; failure tolerance is ``copies - 1``.
+    copies: int = 1
+
+    def nodes_for(self, ring: HashRing, digest: bytes) -> tuple[str, ...]:
+        """Distinct node ids that must hold ``digest``."""
+        raise NotImplementedError
+
+    def validate(self, ring: HashRing) -> None:
+        """Reject rings too small for this scheme's copy count."""
+        if len(ring) < self.copies:
+            raise ValueError(
+                f"{self.name} placement needs >= {self.copies} nodes, "
+                f"ring has {len(ring)}"
+            )
+
+
+class VanillaPlacement(PlacementScheme):
+    """One copy on the ring's primary owner — the minimal sharding."""
+
+    name = "vanilla"
+
+    def nodes_for(self, ring: HashRing, digest: bytes) -> tuple[str, ...]:
+        return (ring.node_for(digest),)
+
+
+class StripedPlacement(PlacementScheme):
+    """One copy striped across a window of successor nodes.
+
+    A secondary hash of the digest picks one node out of the first
+    ``stripe_width`` successors, so a hot arc of the digest space is
+    served by several nodes instead of one — striping without paying
+    for redundancy.
+    """
+
+    name = "striped"
+
+    def __init__(self, stripe_width: int = 4) -> None:
+        if stripe_width < 1:
+            raise ValueError("stripe_width must be >= 1")
+        self.stripe_width = stripe_width
+
+    def nodes_for(self, ring: HashRing, digest: bytes) -> tuple[str, ...]:
+        width = min(self.stripe_width, len(ring))
+        window = ring.preference_list(digest, width)
+        lane = int.from_bytes(digest[-4:], "big") % width
+        return (window[lane],)
+
+
+class ReplicatedPlacement(PlacementScheme):
+    """``r`` copies on the first ``r`` distinct ring successors."""
+
+    name = "replicated"
+
+    def __init__(self, replicas: int = 2) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+
+    @property
+    def copies(self) -> int:  # type: ignore[override]
+        return self.replicas
+
+    def nodes_for(self, ring: HashRing, digest: bytes) -> tuple[str, ...]:
+        # Clamp to the ring size so a cluster that has lost nodes below
+        # the replica count keeps serving degraded (fewer copies)
+        # instead of failing every read; validate() still enforces the
+        # full count at construction time.
+        return ring.preference_list(digest, min(self.replicas, len(ring)))
+
+
+def make_scheme(name: str, replicas: int = 2, stripe_width: int = 4) -> PlacementScheme:
+    """Config-string constructor used by the backup server and CLI."""
+    if name == "vanilla":
+        return VanillaPlacement()
+    if name == "striped":
+        return StripedPlacement(stripe_width)
+    if name == "replicated":
+        return ReplicatedPlacement(replicas)
+    raise ValueError(f"unknown placement scheme {name!r}")

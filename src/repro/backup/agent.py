@@ -48,10 +48,24 @@ class ShredderAgent:
         except KeyError:
             raise ValueError(f"snapshot {snapshot_id!r} is not open") from None
 
-    def receive_chunk(self, snapshot_id: str, data: bytes) -> None:
-        """A new (non-duplicate) chunk payload arrives."""
+    def receive_chunk(self, snapshot_id: str, data: bytes, digest: bytes | None = None) -> None:
+        """A new (non-duplicate) chunk payload arrives.
+
+        ``digest`` is the sender's declared content hash.  The agent
+        verifies it against the received bytes before storing: a payload
+        corrupted (or mis-hashed) in flight must fail loudly here, not
+        poison the content-addressed store for every later snapshot that
+        dedups against the digest.
+        """
         digests, log = self._session(snapshot_id)
-        digest = chunk_hash(data)
+        computed = chunk_hash(data)
+        if digest is None:
+            digest = computed
+        elif digest != computed:
+            raise ValueError(
+                f"chunk payload does not match its declared digest "
+                f"{digest.hex()[:16]} in snapshot {snapshot_id!r}"
+            )
         self.store.put_chunk(digest, data)
         digests.append(digest)
         log.chunks_received += 1

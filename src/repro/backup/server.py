@@ -33,7 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.backup.agent import ShredderAgent, TransferLog
-from repro.core.chunking import ChunkerConfig
+from repro.core.chunking import ChunkerConfig, ensure_digests
 from repro.core.dedup import DedupIndex
 from repro.core.shredder import Shredder, ShredderConfig
 from repro.store.cluster import ChunkStoreCluster
@@ -197,6 +197,9 @@ class BackupServer:
         """Deduplicate and ship one image snapshot to the backup site."""
         cfg = self.config
         chunks, shred_report = self.shredder.process(data)
+        # The shredder's chunks are zero-copy views; hash the whole scan
+        # batch in one pass before any digest is consumed below.
+        ensure_digests(chunks)
 
         # One batched index probe for the whole snapshot (the per-chunk
         # lookup loop this replaces is the §7.3 "unoptimized" shape).
@@ -205,9 +208,7 @@ class BackupServer:
             # The cluster is authoritative: hits are chunks some shard
             # already stores.  Repeats of a new digest within this
             # snapshot become pointers once the first copy has shipped.
-            hit_map, lookup_stats = self.cluster.lookup_batch(
-                [c.digest for c in chunks]
-            )
+            hit_map, lookup_stats = self.cluster.lookup_chunks(chunks)
             seen: set[bytes] = set()
             decisions = []
             for chunk in chunks:
@@ -231,7 +232,10 @@ class BackupServer:
                 self.agent.receive_pointer(snapshot_id, chunk.digest)
             else:
                 shipped += chunk.length
-                self.agent.receive_chunk(snapshot_id, chunk.data)
+                # Only unique chunks materialize their payload; the digest
+                # rides along as an end-to-end integrity check the site
+                # verifies before storing.
+                self.agent.receive_chunk(snapshot_id, chunk.data, digest=chunk.digest)
         transfer = self.agent.finish_snapshot(snapshot_id)
 
         n = len(data)

@@ -43,11 +43,38 @@ def _chunker_config(args) -> "ChunkerConfig":
 
 
 def cmd_chunk(args) -> int:
+    import mmap
+
     from repro.core import Chunker, size_stats
 
-    data = _read(args.file)
     chunker = Chunker(_chunker_config(args))
-    chunks = chunker.chunk(data)
+    # Zero-copy path: chunk the file through an mmap'd memoryview — the
+    # scan, boundary selection, and batched hashing all run against the
+    # page cache without ever copying the payload into Python bytes.
+    with open(args.file, "rb") as fh:
+        try:
+            mapped = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+        except (ValueError, OSError):  # empty file or unmappable source
+            mapped = None
+        if mapped is None:
+            data = _read(args.file)
+            chunks = chunker.chunk(data)
+        else:
+            view = memoryview(mapped)
+            chunks = []
+            try:
+                chunks = chunker.chunk(view)  # digests computed batched
+            finally:
+                for c in chunks:
+                    c.release()  # digests recorded; let the mmap go
+                view.release()
+                try:
+                    mapped.close()
+                except BufferError:
+                    # An in-flight exception's traceback frames can still
+                    # hold exported views; let that exception surface and
+                    # leave the unmap to garbage collection.
+                    pass
     stats = size_stats([c.length for c in chunks])
     table = ResultTable(
         f"Chunks of {args.file}",

@@ -2,10 +2,18 @@
 
 from repro.core.baselines import FixedSizeChunker, SampleByteChunker
 from repro.core.buffers import DoubleBuffer, PinnedRingBuffer, RingSlot
-from repro.core.chunking import Chunk, Chunker, ChunkerConfig, chunk_sizes, select_cuts
+from repro.core.chunking import (
+    Chunk,
+    Chunker,
+    ChunkerConfig,
+    chunk_sizes,
+    ensure_digests,
+    select_cuts,
+    select_cuts_fast,
+)
 from repro.core.dedup import DedupIndex, DedupStats
-from repro.core.engines import Engine, SerialEngine, VectorEngine, default_engine
-from repro.core.hashing import chunk_hash, short_hash, weak_checksum
+from repro.core.engines import Engine, SerialEngine, VectorEngine, as_byte_view, as_uint8, default_engine
+from repro.core.hashing import chunk_hash, digest_chunks, digest_many, short_hash, weak_checksum
 from repro.core.host_chunker import HOARD, MALLOC, AllocatorModel, HostParallelChunker
 from repro.core.executor import BoundaryStitcher, ExecutionTotals, ShredderExecutor
 from repro.core.parallel_minmax import compute_jumps, parallel_select_cuts
@@ -19,10 +27,11 @@ __all__ = [
     "BoundaryStitcher", "ExecutionTotals", "ShredderExecutor",
     "compute_jumps", "parallel_select_cuts",
     "DoubleBuffer", "PinnedRingBuffer", "RingSlot",
-    "Chunk", "Chunker", "ChunkerConfig", "chunk_sizes", "select_cuts",
+    "Chunk", "Chunker", "ChunkerConfig", "chunk_sizes", "ensure_digests",
+    "select_cuts", "select_cuts_fast",
     "DedupIndex", "DedupStats",
-    "Engine", "SerialEngine", "VectorEngine", "default_engine",
-    "chunk_hash", "short_hash", "weak_checksum",
+    "Engine", "SerialEngine", "VectorEngine", "as_byte_view", "as_uint8", "default_engine",
+    "chunk_hash", "digest_chunks", "digest_many", "short_hash", "weak_checksum",
     "HOARD", "MALLOC", "AllocatorModel", "HostParallelChunker",
     "PipelineError", "Stage", "StreamingPipeline",
     "DEFAULT_WINDOW_SIZE", "RabinFingerprinter", "default_polynomial",

@@ -5,6 +5,14 @@ scan, offloaded to the GPU) from *selecting chunk boundaries* (applying
 minimum / maximum chunk sizes, done by the Store thread).  This module
 implements the second step plus the user-facing :class:`Chunker` API.
 
+The whole data path is **zero-copy**: chunkers accept any buffer-protocol
+object, :class:`Chunk` records are lazy ``(offset, length)`` views into
+the caller's buffers that materialize ``data``/``digest`` on demand, and
+the streaming path carries a ring of buffer references instead of
+re-concatenated bytestrings.  Because chunks reference the buffers they
+were cut from, callers that mutate or recycle those buffers should call
+:meth:`Chunk.materialize` first.
+
 Defaults follow §3.1: a 48-byte window whose fingerprint's low-order
 13 bits are compared against a fixed marker, giving an expected chunk
 size of ``2**13`` bytes, with ``min = 0`` and ``max = ∞`` unless noted.
@@ -12,14 +20,33 @@ size of ``2**13`` bytes, with ``min = 0`` and ``max = ∞`` unless noted.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from bisect import bisect_left
+from collections import deque
+from dataclasses import dataclass, replace
 from typing import Iterable, Iterator, Sequence
 
-from repro.core.engines import Engine, SerialEngine, VectorEngine, default_engine
-from repro.core.hashing import chunk_hash
+import numpy as np
+
+from repro.core.engines import (
+    Engine,
+    SerialEngine,
+    VectorEngine,
+    as_byte_view,
+    default_engine,
+)
+from repro.core.hashing import chunk_hash, digest_chunks, digest_many, digest_views
 from repro.core.rabin import DEFAULT_WINDOW_SIZE, RabinFingerprinter
 
-__all__ = ["ChunkerConfig", "Chunk", "Chunker", "select_cuts", "chunk_sizes"]
+__all__ = [
+    "ChunkerConfig",
+    "Chunk",
+    "Chunker",
+    "chunks_from_cuts",
+    "select_cuts",
+    "select_cuts_fast",
+    "chunk_sizes",
+    "ensure_digests",
+]
 
 #: Default number of low-order fingerprint bits compared against the marker
 #: (§3.1: "the resulting low-order 13 bits").
@@ -88,27 +115,167 @@ class ChunkerConfig:
         return replace(self, min_size=min_size, max_size=max_size)
 
 
-@dataclass(frozen=True)
 class Chunk:
-    """One content-defined chunk of a stream.
+    """One content-defined chunk of a stream (lazy).
 
-    ``offset`` is absolute within the stream; ``data`` holds the chunk
-    bytes and ``digest`` a collision-resistant hash of them (step 2 of the
-    duplicate-identification recipe in §2.1).
+    ``offset`` is absolute within the stream.  The payload is recorded
+    either eagerly (``data``/``digest``) or as zero-copy buffer ``views``
+    into the scanned input; ``data`` and ``digest`` then materialize on
+    first access (and cache).  Requesting only ``digest`` never builds
+    the ``data`` bytestring — duplicate chunks in a dedup flow are
+    hashed straight from the source buffer and their payload is never
+    copied at all.
+
+    Lazy chunks keep the source buffer alive (and assume it is not
+    mutated) until :meth:`materialize` or :meth:`release` is called.
     """
 
-    offset: int
-    length: int
-    data: bytes = field(repr=False)
-    digest: bytes = field(repr=False)
+    __slots__ = ("offset", "length", "_data", "_digest", "_views")
+
+    def __init__(
+        self,
+        offset: int,
+        length: int,
+        data: bytes | None = None,
+        digest: bytes | None = None,
+        views: tuple | None = None,
+    ) -> None:
+        if data is None and digest is None and views is None:
+            raise ValueError("Chunk needs data, views, or a digest")
+        self.offset = offset
+        self.length = length
+        if data is not None and not isinstance(data, bytes):
+            data = bytes(data)
+        self._data = data
+        self._digest = digest
+        self._views = views
 
     @property
     def end(self) -> int:
         return self.offset + self.length
 
+    @property
+    def data(self) -> bytes:
+        """Chunk payload, materialized (and cached) on first access."""
+        if self._data is None:
+            if self._views is None:
+                raise ValueError(
+                    f"chunk at offset {self.offset} carries only a digest; "
+                    "its payload was released"
+                )
+            views = self._views
+            self._data = (
+                bytes(views[0]) if len(views) == 1 else b"".join(bytes(v) for v in views)
+            )
+            self._views = None  # buffer references no longer needed
+        return self._data
+
+    @property
+    def digest(self) -> bytes:
+        """Collision-resistant payload hash, computed lazily without
+        materializing ``data`` (hashed straight from the source views)."""
+        if self._digest is None:
+            if self._data is not None:
+                self._digest = chunk_hash(self._data)
+            else:
+                self._digest = digest_views(self._views)
+        return self._digest
+
+    def materialize(self) -> "Chunk":
+        """Force ``data`` and ``digest``, dropping source-buffer references."""
+        self.data
+        self.digest
+        return self
+
+    def release(self) -> None:
+        """Drop buffer references without copying.
+
+        ``offset``/``length`` (and ``digest``/``data`` if already
+        materialized) survive; an unmaterialized payload becomes
+        unavailable.  Lets callers unmap the scanned buffer (e.g. an
+        ``mmap``) once digests are recorded.
+        """
+        self.digest  # a chunk without data must still identify its content
+        self._views = None
+
     @staticmethod
-    def from_bytes(offset: int, data: bytes) -> "Chunk":
+    def from_bytes(offset: int, data) -> "Chunk":
+        """Eager chunk: copy the payload and hash it immediately."""
+        data = bytes(data)
         return Chunk(offset=offset, length=len(data), data=data, digest=chunk_hash(data))
+
+    @staticmethod
+    def from_views(offset: int, length: int, views: tuple, digest: bytes | None = None) -> "Chunk":
+        """Lazy chunk over zero-copy buffer views."""
+        return Chunk(offset=offset, length=length, digest=digest, views=views)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Chunk):
+            return NotImplemented
+        return (
+            self.offset == other.offset
+            and self.length == other.length
+            and self.digest == other.digest
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.offset, self.length, self.digest))
+
+    def __repr__(self) -> str:
+        return f"Chunk(offset={self.offset}, length={self.length})"
+
+    def __reduce__(self):
+        # Views cannot cross process boundaries; pickle the realized form.
+        data = self.data if (self._data is not None or self._views is not None) else None
+        return (Chunk, (self.offset, self.length, data, self.digest))
+
+
+def ensure_digests(chunks: Sequence[Chunk], parallel: bool | None = None) -> Sequence[Chunk]:
+    """Materialize digests for a whole chunk batch in one pass.
+
+    Chunks that already carry a digest are untouched; the rest are hashed
+    together through :func:`repro.core.hashing.digest_many` (sharded
+    across the hash thread pool on multi-core hosts).  This is the
+    batched-hashing entry point the backup server and cluster lookup
+    path use so a scan batch costs one hashing pass, not one call per
+    chunk.
+    """
+    pending = [c for c in chunks if c._digest is None]
+    if not pending:
+        return chunks
+    pieces = []
+    for c in pending:
+        if c._data is not None:
+            pieces.append(c._data)
+        elif len(c._views) == 1:
+            pieces.append(c._views[0])
+        else:
+            pieces.append(None)  # multi-view chunks hash incrementally
+    digests = digest_many(
+        [p for p in pieces if p is not None], parallel=parallel
+    )
+    it = iter(digests)
+    for c, piece in zip(pending, pieces):
+        c._digest = next(it) if piece is not None else digest_views(c._views)
+    return chunks
+
+
+def chunks_from_cuts(view: memoryview, cuts: Sequence[int], base_offset: int = 0) -> list[Chunk]:
+    """Assemble lazy view chunks for a selected cut list, one digest pass.
+
+    The shared back half of every whole-buffer chunker: slice ``view``
+    at ``cuts`` into zero-copy :class:`Chunk` records whose digests are
+    computed for the whole batch by :func:`digest_chunks`.
+    """
+    digests = digest_chunks(view, cuts)
+    chunks = []
+    prev = 0
+    for cut, digest in zip(cuts, digests):
+        chunks.append(
+            Chunk(base_offset + prev, cut - prev, digest=digest, views=(view[prev:cut],))
+        )
+        prev = cut
+    return chunks
 
 
 def select_cuts(
@@ -128,6 +295,9 @@ def select_cuts(
 
     Returns the selected cuts, ending with ``length``.  Empty input
     (``length == 0``) yields no cuts.
+
+    Pure-Python reference implementation; :func:`select_cuts_fast` is the
+    production path (bit-identical, differentially tested).
     """
     if length == 0:
         return []
@@ -153,6 +323,57 @@ def select_cuts(
     return cuts
 
 
+def select_cuts_fast(
+    candidates,
+    length: int,
+    min_size: int = 0,
+    max_size: int | None = None,
+) -> list[int]:
+    """Vectorized :func:`select_cuts` (bit-identical output).
+
+    The default configuration (``min_size <= 1``, no maximum) reduces to
+    pure array ops.  With limits, the greedy walk jumps candidate-to-
+    candidate with ``np.searchsorted`` — ``O(selected · log n)`` instead
+    of a Python loop over every candidate — touching only the cuts it
+    emits, like the Lillibridge-style jump selection in
+    :mod:`repro.core.parallel_minmax`.
+    """
+    if length == 0:
+        return []
+    c = np.asarray(candidates, dtype=np.int64)
+    n = int(c.size)
+    if n and int(c[-1]) > length:
+        raise ValueError(
+            f"candidate cut {int(c[-1])} beyond buffer length {length}"
+        )
+    if min_size <= 1 and max_size is None:
+        uniq = np.unique(c[c > 0]) if n else c
+        out = uniq.tolist()
+        if not out or out[-1] != length:
+            out.append(length)
+        return out
+    out: list[int] = []
+    prev = 0
+    step = max(min_size, 1)
+    while True:
+        i = int(np.searchsorted(c, prev + step, side="left"))
+        nxt = int(c[i]) if i < n else None
+        if nxt is not None and (max_size is None or nxt - prev <= max_size):
+            out.append(nxt)
+            prev = nxt
+            continue
+        if max_size is not None and (
+            nxt is not None or length - prev > max_size
+        ):
+            prev += max_size
+            out.append(prev)
+            continue
+        break
+    if not out or out[-1] != length:
+        out.append(length)
+    return out
+
+
 def chunk_sizes(cuts: Iterable[int]) -> list[int]:
     """Chunk lengths implied by a sorted cut list (first cut from offset 0)."""
     sizes = []
@@ -166,67 +387,124 @@ def chunk_sizes(cuts: Iterable[int]) -> list[int]:
 def stream_chunks(
     candidate_fn,
     config: ChunkerConfig,
-    buffers: Iterable[bytes],
+    buffers: Iterable,
     carry_limit: int = 1 << 26,
 ) -> Iterator[Chunk]:
     """Chunk a buffer stream so boundaries match whole-stream chunking.
 
-    Two pieces of state cross buffer boundaries:
-
-    * ``carry`` — bytes after the last emitted cut (the open chunk);
-    * ``context`` — the final ``window - 1`` *already emitted* bytes before
-      the carry, needed because a marker window may start inside the
-      previous chunk and end inside the carry.
+    Zero-copy streaming: each incoming buffer (any buffer-protocol
+    object) is scanned **once**, in place.  The open chunk (*carry*) is a
+    ring of buffer references — ``(global_start, memoryview)`` segments —
+    never a re-concatenated bytestring, and emitted :class:`Chunk`
+    records are lazy views into those segments.  Windows straddling a
+    buffer boundary are caught by splicing the final ``window - 1``
+    *tail* bytes of the stream onto the first ``window - 1`` bytes of the
+    new buffer (a bounded, constant-size copy), so a stream of N
+    markerless buffers costs O(total bytes) work and copies — not the
+    quadratic re-scan of a growing carry.
 
     ``candidate_fn(data) -> cuts`` supplies min/max-agnostic marker cuts
     (e.g. ``Chunker.candidate_cuts`` or the SPMD host chunker's); min/max
-    selection runs here against the true previous boundary.
+    selection runs incrementally here against the true previous boundary.
+
+    Zero-copy applies to *read-only* buffers (bytes, read-only
+    memoryviews, mmaps).  Writable buffers (bytearray, writable NumPy
+    arrays) are snapshotted on arrival — one bounded copy each — because
+    producers legitimately refill such buffers between yields (the
+    classic read-into-buffer loop), which would silently corrupt aliased
+    carry segments.
 
     ``carry_limit`` bounds memory when no marker appears for a long
     stretch: it acts as an implicit maximum chunk size (default 64 MiB).
     """
     w = config.window_size
-    carry = b""
-    context = b""
-    offset = 0
+    min_size, max_size = config.min_size, config.max_size
+    step = max(min_size, 1)
+    tail = b""  # final min(w - 1, stream) bytes already scanned
+    segments: deque[tuple[int, memoryview]] = deque()  # ring of carry buffer refs
+    cands: list[int] = []  # pending global candidate cuts
+    ci = 0  # consumed prefix of ``cands``
+    prev = 0  # global offset of the open chunk start
+    end = 0  # global bytes scanned so far
+
+    def take(hi: int) -> tuple:
+        """Split the segment ring at global offset ``hi``; views of [prev, hi)."""
+        views = []
+        while segments:
+            start, mv = segments[0]
+            seg_end = start + len(mv)
+            if seg_end <= hi:
+                views.append(mv)
+                segments.popleft()
+            else:
+                cutoff = hi - start
+                if cutoff > 0:
+                    views.append(mv[:cutoff])
+                    segments[0] = (hi, mv[cutoff:])
+                break
+        return tuple(views)
+
     for buf in buffers:
-        data = carry + bytes(buf)
-        if not data:
+        view = as_byte_view(buf)
+        if not view.readonly:
+            view = memoryview(bytes(view))  # snapshot: producer may refill
+        nbytes = len(view)
+        if nbytes == 0:
             continue
-        scan = context + data
-        shift = len(context)
-        candidates = [c - shift for c in candidate_fn(scan) if c > shift]
-        cuts = select_cuts(candidates, len(data), config.min_size, config.max_size)
-        # The final cut is usually an artifact of buffer truncation and is
-        # held back -- unless it is a real marker (or an exact max-size
-        # boundary), in which case whole-stream chunking would cut here too.
-        prev_selected = cuts[-2] if len(cuts) > 1 else 0
-        final_is_real = (cuts[-1] in set(candidates) and cuts[-1] - prev_selected >= config.min_size) or (
-            config.max_size is not None and cuts[-1] - prev_selected == config.max_size
-        )
-        emit = cuts if final_is_real else cuts[:-1]
-        prev = 0
-        for cut in emit:
-            yield Chunk.from_bytes(offset + prev, data[prev:cut])
+        start = end
+        # Windows straddling the boundary end in (start, start + w - 1]:
+        # splice the stream tail onto the head of the new buffer.
+        if tail:
+            splice = tail + bytes(view[: w - 1])
+            base = start - len(tail)
+            for cut in candidate_fn(splice):
+                if base + cut > start:
+                    cands.append(base + cut)
+        # Windows fully inside the buffer end in [start + w, start + nbytes].
+        if nbytes >= w:
+            cands.extend(start + cut for cut in candidate_fn(view))
+        if nbytes >= w - 1:
+            tail = bytes(view[nbytes - (w - 1) :])
+        else:
+            tail = (tail + bytes(view))[-(w - 1) :]
+        segments.append((start, view))
+        end += nbytes
+
+        # Incremental min/max selection (same greedy as select_cuts).  A
+        # cut at the current end of data is held back unless it is a real
+        # candidate — whole-stream chunking would cut there regardless of
+        # what the next buffer holds.
+        while True:
+            i = bisect_left(cands, prev + step, ci)
+            nxt = cands[i] if i < len(cands) else None
+            if nxt is not None and (max_size is None or nxt - prev <= max_size):
+                cut = nxt
+            elif max_size is not None and (nxt is not None or end - prev > max_size):
+                cut = prev + max_size  # forced boundary, always < end here
+            else:
+                break
+            yield Chunk(prev, cut - prev, views=take(cut))
             prev = cut
-        carry = data[prev:]
-        # Bytes preceding the (new) carry start: whatever preceded this
-        # buffer plus everything emitted from it.  Keep the last w-1.
-        context = (context + data[:prev])[-(w - 1) :]
-        offset += prev
-        if len(carry) > carry_limit:
-            yield Chunk.from_bytes(offset, carry)
-            offset += len(carry)
-            context = (context + carry)[-(w - 1) :]
-            carry = b""
-    if carry:
-        yield Chunk.from_bytes(offset, carry)
+            ci = bisect_left(cands, cut + 1, ci)
+            if ci > 1024:  # compact the consumed prefix
+                del cands[:ci]
+                ci = 0
+        if end - prev > carry_limit:
+            yield Chunk(prev, end - prev, views=take(end))
+            prev = end
+            del cands[:]
+            ci = 0
+    if end > prev:
+        yield Chunk(prev, end - prev, views=take(end))
 
 
 class Chunker:
     """User-facing content-based chunker.
 
     Combines an engine (marker scan) with boundary selection and hashing.
+    Accepts any buffer-protocol input and never copies payload bytes:
+    the returned chunks are lazy views whose digests are computed for the
+    whole batch in one pass.
 
     >>> chunker = Chunker()
     >>> chunks = chunker.chunk(data)
@@ -260,37 +538,43 @@ class Chunker:
 
     # -- boundary-level API -------------------------------------------------
 
-    def candidate_cuts(self, data: bytes) -> list[int]:
+    def candidate_cuts(self, data) -> list[int]:
         """Marker positions only, before min/max selection (GPU-kernel view)."""
         return self.engine.candidate_cuts(data, self.config.mask, self.config.marker)
 
-    def cuts(self, data: bytes) -> list[int]:
+    def cuts(self, data) -> list[int]:
         """Selected exclusive cut offsets for ``data`` (ends with ``len(data)``)."""
-        return select_cuts(
-            self.candidate_cuts(data),
-            len(data),
+        return select_cuts_fast(
+            self.engine.candidate_cut_array(data, self.config.mask, self.config.marker),
+            len(as_byte_view(data)),
             self.config.min_size,
             self.config.max_size,
         )
 
     # -- chunk-level API ----------------------------------------------------
 
-    def chunk(self, data: bytes, base_offset: int = 0) -> list[Chunk]:
-        """Chunk one in-memory buffer into hashed :class:`Chunk` records."""
-        chunks = []
-        prev = 0
-        for cut in self.cuts(data):
-            chunks.append(Chunk.from_bytes(base_offset + prev, data[prev:cut]))
-            prev = cut
-        return chunks
+    def chunk(self, data, base_offset: int = 0) -> list[Chunk]:
+        """Chunk one in-memory buffer into hashed :class:`Chunk` records.
+
+        Zero-copy: each chunk is a lazy view into ``data``; all digests
+        for the scan are computed in one batched pass.  The views alias
+        ``data`` even when it is writable (unlike the streaming path,
+        which snapshots writable buffers because producers refill them
+        mid-iteration): digests identify the content as of this call, so
+        a caller that mutates ``data`` afterwards must ``materialize()``
+        the chunks first or their ``.data`` will no longer match
+        ``.digest`` (the backup agent rejects such payloads).
+        """
+        mv = as_byte_view(data)
+        return chunks_from_cuts(mv, self.cuts(mv), base_offset)
 
     def chunk_stream(
-        self, buffers: Iterable[bytes], carry_limit: int = 1 << 26
+        self, buffers: Iterable, carry_limit: int = 1 << 26
     ) -> Iterator[Chunk]:
         """Chunk a stream of buffers with correct cross-buffer boundaries.
 
         Produces exactly the chunks that chunking the concatenated stream
-        would.  See :func:`stream_chunks` for the carry/context mechanics.
+        would.  See :func:`stream_chunks` for the zero-copy carry ring.
         """
         return stream_chunks(
             self.candidate_cuts, self.config, buffers, carry_limit=carry_limit

@@ -6,6 +6,11 @@ ending at byte ``c - 1`` fingerprints to the marker value.  Candidate cuts
 are min/max-agnostic (the paper's GPU kernel behaves the same way: the
 Store thread applies min/max afterwards, §7.3).
 
+Both engines accept any object exporting the buffer protocol (``bytes``,
+``bytearray``, ``memoryview``, ``mmap``, NumPy ``uint8`` arrays, ...) and
+scan it **without copying** — the zero-copy fast path the paper's pinned
+ring buffers exist to preserve.
+
 Two interchangeable implementations:
 
 ``SerialEngine``
@@ -13,20 +18,107 @@ Two interchangeable implementations:
     differential testing and tiny inputs.
 
 ``VectorEngine``
-    NumPy data-parallel evaluation using the linearity of Rabin
-    fingerprints: the fingerprint of a window is the XOR of one table
-    entry per byte (``RabinFingerprinter.position_tables``).  Bytes are
-    folded in 16-bit pairs, halving the lookups.  This mirrors how the
-    GPU kernel evaluates windows independently per thread.
+    NumPy data-parallel evaluation.  Small inputs use the linearity of
+    Rabin fingerprints (XOR of per-position table entries, folded in
+    16-bit pairs).  Large inputs use a *striped rolling scan*: the buffer
+    is cut into cache-sized tiles, each tile into ``lanes`` equal
+    sub-streams, and every lane rolls its own window serially while NumPy
+    vectorizes *across* lanes — exactly the paper's SPMD kernel layout
+    (§3.1), with the two 256-entry roll tables staying L1-resident
+    instead of the 3 MB pair tables being re-gathered per byte.  All
+    lookup tables are cached at module level keyed by
+    ``(polynomial, window_size)`` so fresh engines are cheap to build.
 """
 
 from __future__ import annotations
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.core.rabin import RabinFingerprinter
 
-__all__ = ["Engine", "SerialEngine", "VectorEngine", "default_engine"]
+__all__ = [
+    "Engine",
+    "SerialEngine",
+    "VectorEngine",
+    "default_engine",
+    "as_byte_view",
+    "as_uint8",
+    "engine_tables",
+]
+
+
+def as_byte_view(buf) -> memoryview:
+    """Flat byte ``memoryview`` of any buffer-protocol object, no copy.
+
+    The one normalization point for the zero-copy path: every consumer
+    (engines, chunkers, streaming, batched hashing) funnels through here.
+    Raises ``BufferError`` for non-contiguous buffers (e.g. strided
+    memoryview slices), which no zero-copy view can represent — callers
+    that accept such inputs flatten with ``bytes()`` first.
+    """
+    mv = buf if isinstance(buf, memoryview) else memoryview(buf)
+    if not mv.c_contiguous:  # checked first: cast() would raise TypeError
+        raise BufferError("underlying buffer is not C-contiguous")
+    if mv.ndim != 1 or mv.format != "B":
+        mv = mv.cast("B")
+    return mv
+
+
+def as_uint8(data) -> np.ndarray:
+    """Zero-copy ``uint8`` view of any buffer-protocol object.
+
+    NumPy arrays pass through (reinterpreted as bytes if needed); other
+    buffers (bytes, bytearray, memoryview, mmap, ...) are wrapped via
+    ``np.frombuffer`` without copying.
+    """
+    if isinstance(data, np.ndarray):
+        if data.dtype == np.uint8 and data.ndim == 1:
+            return data
+        return np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+    return np.frombuffer(as_byte_view(data), dtype=np.uint8)
+
+
+class _EngineTables:
+    """Precomputed NumPy lookup tables for one (polynomial, window) pair.
+
+    ``pair``/``low`` drive the gather-based evaluation: ``pair[q][v]`` is
+    the contribution of the 16-bit little-endian pair ``v`` at window
+    pair-offset ``q`` (``low`` is its 16-bit truncation, 4x less gather
+    traffic).  ``out``/``reduce`` are the two 256-entry roll tables of
+    the striped scan — together 4 KB, permanently L1-resident.
+    """
+
+    __slots__ = ("pair", "low", "out", "reduce")
+
+    def __init__(self, fingerprinter: RabinFingerprinter) -> None:
+        w = fingerprinter.window_size
+        position = np.array(fingerprinter.position_tables(), dtype=np.uint64)
+        lo = np.arange(65536, dtype=np.uint32) & 0xFF
+        hi = np.arange(65536, dtype=np.uint32) >> 8
+        self.pair = np.empty((w // 2, 65536), dtype=np.uint64)
+        for q in range(w // 2):
+            self.pair[q] = position[2 * q][lo] ^ position[2 * q + 1][hi]
+        self.low = self.pair.astype(np.uint16)
+        self.out = np.array(fingerprinter.out_table, dtype=np.uint64)
+        self.reduce = np.array(fingerprinter.reduce_table, dtype=np.uint64)
+
+
+#: Module-level table cache: (polynomial, window_size) -> _EngineTables.
+#: BackupServer and the CLI build a fresh Chunker (hence engine) per
+#: request; without this cache every request rebuilds ~3 MB of tables.
+_TABLE_CACHE: dict[tuple[int, int], _EngineTables] = {}
+
+
+def engine_tables(fingerprinter: RabinFingerprinter) -> _EngineTables:
+    """Shared lookup tables for ``fingerprinter`` (built once per process)."""
+    if fingerprinter.window_size % 2 != 0:
+        raise ValueError("pair tables require an even window size")
+    key = (fingerprinter.polynomial, fingerprinter.window_size)
+    tables = _TABLE_CACHE.get(key)
+    if tables is None:
+        tables = _TABLE_CACHE[key] = _EngineTables(fingerprinter)
+    return tables
 
 
 class Engine:
@@ -35,14 +127,23 @@ class Engine:
     #: RabinFingerprinter used by this engine.
     fingerprinter: RabinFingerprinter
 
-    def candidate_cuts(self, data: bytes, mask: int, marker: int) -> list[int]:
+    def candidate_cuts(self, data, mask: int, marker: int) -> list[int]:
         """Return sorted exclusive end offsets of marker windows in ``data``.
 
         A cut ``c`` means the window ``data[c - w : c]`` satisfies
         ``fingerprint & mask == marker``.  Cuts lie in
-        ``[window_size, len(data)]``.
+        ``[window_size, len(data)]``.  ``data`` is any buffer-protocol
+        object (or NumPy ``uint8`` array).
         """
         raise NotImplementedError
+
+    def candidate_cut_array(self, data, mask: int, marker: int) -> np.ndarray:
+        """Candidate cuts as an ``int64`` array (exclusive end offsets).
+
+        Default wrapper over :meth:`candidate_cuts`; vectorized engines
+        override it to stay in array form end to end.
+        """
+        return np.asarray(self.candidate_cuts(data, mask, marker), dtype=np.int64)
 
     @property
     def window_size(self) -> int:
@@ -55,7 +156,9 @@ class SerialEngine(Engine):
     def __init__(self, fingerprinter: RabinFingerprinter | None = None) -> None:
         self.fingerprinter = fingerprinter or RabinFingerprinter()
 
-    def candidate_cuts(self, data: bytes, mask: int, marker: int) -> list[int]:
+    def candidate_cuts(self, data, mask: int, marker: int) -> list[int]:
+        if not isinstance(data, bytes):  # reference path: a copy is fine
+            data = as_uint8(data).tobytes()
         w = self.fingerprinter.window_size
         cuts = []
         for start, fp in self.fingerprinter.sliding_fingerprints(data):
@@ -64,37 +167,60 @@ class SerialEngine(Engine):
         return cuts
 
 
+#: Default striped-scan geometry: 4096 lanes over 4 MiB tiles keeps the
+#: per-step working set (a handful of lane-wide uint64 vectors) in L2 and
+#: the tile itself in L3, while amortizing NumPy dispatch over wide ops.
+DEFAULT_LANES = 4096
+DEFAULT_TILE_BYTES = 4 << 20
+
+
 class VectorEngine(Engine):
     """NumPy engine evaluating all windows in parallel.
 
-    The per-offset tables ``T[j][b] = b * x**(8*(w-1-j)) mod P`` are packed
-    into pair tables ``T2[q][v] = T[2q][v & 0xFF] ^ T[2q+1][v >> 8]`` so the
-    fingerprint of the window starting at ``i`` is
-    ``XOR_q T2[q][pair(i + 2q)]`` where ``pair(p) = data[p] | data[p+1]<<8``.
+    Small buffers (``<= 2 * lanes`` windows) are evaluated by table
+    gathers: the fingerprint of the window starting at ``i`` is
+    ``XOR_q T2[q][pair(i + 2q)]`` where ``pair(p) = data[p] | data[p+1]<<8``
+    (``T2`` are the cached pair tables).
+
+    Large buffers use the striped rolling scan (see module docstring):
+    per input byte it costs two gathers from 256-entry L1-resident roll
+    tables plus a few lane-wide ALU ops, instead of ``window/2`` gathers
+    from the 3 MB pair tables — several times faster and bit-identical.
 
     Requires an even window size (the default, 48, is even).
     """
 
-    def __init__(self, fingerprinter: RabinFingerprinter | None = None) -> None:
+    def __init__(
+        self,
+        fingerprinter: RabinFingerprinter | None = None,
+        lanes: int = DEFAULT_LANES,
+        tile_bytes: int = DEFAULT_TILE_BYTES,
+    ) -> None:
         self.fingerprinter = fingerprinter or RabinFingerprinter()
         w = self.fingerprinter.window_size
         if w % 2 != 0:
             raise ValueError(f"VectorEngine requires an even window size, got {w}")
-        position = np.array(self.fingerprinter.position_tables(), dtype=np.uint64)
-        lo = np.arange(65536, dtype=np.uint32) & 0xFF
-        hi = np.arange(65536, dtype=np.uint32) >> 8
-        self._pair_tables = np.empty((w // 2, 65536), dtype=np.uint64)
-        for q in range(w // 2):
-            self._pair_tables[q] = position[2 * q][lo] ^ position[2 * q + 1][hi]
-        # Because XOR is bitwise, the low 16 fingerprint bits can be computed
-        # from 16-bit tables alone.  Marker masks are <= 16 bits in every
-        # practical configuration, so the scan path uses these much smaller
-        # tables (4x less gather traffic than the uint64 tables).
-        self._low_tables = self._pair_tables.astype(np.uint16)
+        if lanes < 1:
+            raise ValueError("lanes must be >= 1")
+        if tile_bytes < 1:
+            raise ValueError("tile_bytes must be >= 1")
+        self.lanes = lanes
+        self.tile_bytes = tile_bytes
+        tables = engine_tables(self.fingerprinter)
+        self._pair_tables = tables.pair
+        self._low_tables = tables.low
+        self._out_table = tables.out
+        self._reduce_table = tables.reduce
 
-    def fingerprints(self, data: bytes | np.ndarray) -> np.ndarray:
-        """Fingerprints of every full window, indexed by window start."""
-        d = np.frombuffer(data, dtype=np.uint8) if isinstance(data, (bytes, bytearray, memoryview)) else data
+    # -- gather evaluation (reference; also the small-input fast path) -----
+
+    def fingerprints(self, data) -> np.ndarray:
+        """Fingerprints of every full window, indexed by window start.
+
+        Untiled gather evaluation — the memory-hungry reference kept for
+        differential tests and as the pre-optimization benchmark baseline.
+        """
+        d = as_uint8(data)
         w = self.fingerprinter.window_size
         n = d.size
         if n < w:
@@ -107,7 +233,7 @@ class VectorEngine(Engine):
         return acc
 
     def _low_fingerprints(self, d: np.ndarray) -> np.ndarray:
-        """Low 16 bits of every window fingerprint (scan fast path)."""
+        """Low 16 bits of every window fingerprint (untiled gather scan)."""
         w = self.fingerprinter.window_size
         pairs = d[:-1].astype(np.uint16) | (d[1:].astype(np.uint16) << np.uint16(8))
         m = d.size - w + 1
@@ -116,18 +242,106 @@ class VectorEngine(Engine):
             acc ^= self._low_tables[q][pairs[2 * q : 2 * q + m]]
         return acc
 
-    def candidate_cuts(self, data: bytes | np.ndarray, mask: int, marker: int) -> list[int]:
-        d = np.frombuffer(data, dtype=np.uint8) if isinstance(data, (bytes, bytearray, memoryview)) else data
+    # -- striped rolling scan (the large-input fast path) ------------------
+
+    def _striped_hits(self, d: np.ndarray, mask: int, marker: int) -> np.ndarray:
+        """Window-start offsets of marker windows, via the striped scan.
+
+        Each tile of ``tile_bytes`` window positions is split into
+        ``lanes`` contiguous sub-streams.  Lane seeds (the fingerprint of
+        each lane's first window) come from one pair-table gather over a
+        zero-copy ``sliding_window_view``; after that every lane rolls
+        byte-at-a-time, with NumPy vectorizing each roll step across all
+        lanes.  Only the low 16 fingerprint bits are kept per position
+        when the mask allows (XOR never carries across bit 15).
+        """
+        fp = self.fingerprinter
+        w = fp.window_size
+        deg = np.uint64(fp.degree)
+        residue_mask = np.uint64((1 << fp.degree) - 1)
+        out_table, reduce_table = self._out_table, self._reduce_table
+        narrow = mask <= 0xFFFF
+        if narrow:
+            fp_dtype, m_mask, m_marker = np.uint16, np.uint16(mask), np.uint16(marker)
+        else:
+            fp_dtype, m_mask, m_marker = np.uint64, np.uint64(mask), np.uint64(marker)
+
+        n = d.size
+        m = n - w + 1
+        windows = sliding_window_view(d, w)  # (m, w) zero-copy view
+        eight = np.uint64(8)
+        hits: list[np.ndarray] = []
+        for t0 in range(0, m, self.tile_bytes):
+            mt = min(self.tile_bytes, m - t0)
+            lanes = min(self.lanes, mt)
+            steps = -(-mt // lanes)  # window positions per lane
+            starts = t0 + np.arange(lanes, dtype=np.int64) * steps
+            # Seed fingerprints: one gather of each lane's first window.
+            # Lanes past the last real window (ceil rounding) are clamped;
+            # their positions are >= m and filtered out below.
+            seed = windows[np.minimum(starts, m - 1)]
+            pairs = seed[:, 0::2].astype(np.uint16) | (
+                seed[:, 1::2].astype(np.uint16) << np.uint16(8)
+            )
+            f = self._pair_tables[0][pairs[:, 0]].copy()
+            for q in range(1, w // 2):
+                f ^= self._pair_tables[q][pairs[:, q]]
+            # Roll-step byte planes, transposed so step t reads contiguous
+            # lane-wide rows: leaving[t] = d[start + t], entering[t] =
+            # d[start + t + w - 1].  The final tile zero-pads its tail;
+            # padded positions are >= m and filtered out below.
+            need = lanes * steps + w - 1
+            if t0 + need <= n:
+                seg = d[t0 : t0 + need]
+            else:
+                seg = np.zeros(need, dtype=np.uint8)
+                seg[: n - t0] = d[t0:]
+            body = seg[: lanes * steps].reshape(lanes, steps)
+            leaving = np.ascontiguousarray(body.T)
+            entering = np.ascontiguousarray(
+                seg[w - 1 : w - 1 + lanes * steps].reshape(lanes, steps).T
+            )
+            history = np.empty((steps, lanes), dtype=fp_dtype)
+            history[0] = f if not narrow else f.astype(np.uint16)
+            top = np.empty(lanes, dtype=np.uint64)
+            for t in range(1, steps):
+                f ^= out_table[leaving[t - 1]]
+                f <<= eight
+                f |= entering[t]
+                np.right_shift(f, deg, out=top)
+                f &= residue_mask
+                f ^= reduce_table[top]
+                history[t] = f  # narrow dtype truncates to the low 16 bits
+            tt, jj = np.nonzero((history & m_mask) == m_marker)
+            pos = starts[jj] + tt
+            hits.append(pos[pos < t0 + mt])
+        if not hits:
+            return np.empty(0, dtype=np.int64)
+        out = np.concatenate(hits)
+        out.sort()
+        return out
+
+    # -- public scan API ---------------------------------------------------
+
+    def candidate_cut_array(self, data, mask: int, marker: int) -> np.ndarray:
+        """Candidate cuts as an ``int64`` array (exclusive end offsets)."""
+        d = as_uint8(data)
         w = self.fingerprinter.window_size
-        if d.size < w:
-            return []
-        if mask <= 0xFFFF:
+        m = d.size - w + 1
+        if m <= 0:
+            return np.empty(0, dtype=np.int64)
+        if m > 2 * self.lanes:
+            hits = self._striped_hits(d, mask, marker)
+        elif mask <= 0xFFFF:
             fps = self._low_fingerprints(d)
             hits = np.nonzero((fps & np.uint16(mask)) == np.uint16(marker))[0]
         else:
             fps = self.fingerprints(d)
             hits = np.nonzero((fps & np.uint64(mask)) == np.uint64(marker))[0]
-        return [int(i) + w for i in hits]
+        return hits.astype(np.int64, copy=False) + w
+
+    def candidate_cuts(self, data, mask: int, marker: int) -> list[int]:
+        return self.candidate_cut_array(data, mask, marker).tolist()
 
 
 _DEFAULT: VectorEngine | None = None

@@ -23,8 +23,14 @@ from __future__ import annotations
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
-from repro.core.chunking import Chunk, Chunker, ChunkerConfig, select_cuts
-from repro.core.engines import Engine, default_engine
+from repro.core.chunking import (
+    Chunk,
+    Chunker,
+    ChunkerConfig,
+    chunks_from_cuts,
+    select_cuts_fast,
+)
+from repro.core.engines import Engine, as_byte_view, default_engine
 from repro.gpu.specs import HostSpec, XEON_X5650_HOST
 
 __all__ = ["AllocatorModel", "MALLOC", "HOARD", "HostParallelChunker"]
@@ -83,12 +89,13 @@ class HostParallelChunker:
 
     # -- real parallel algorithm --------------------------------------------
 
-    def _region_cuts(self, data: bytes, start: int, end: int) -> list[int]:
+    def _region_cuts(self, data: memoryview, start: int, end: int) -> list[int]:
         """Candidate cuts ``c`` with ``start < c <= end``.
 
         Scans ``data[max(0, start - w + 1) : end]`` so that every window
         ending inside ``(start, end]`` is evaluated exactly once; this is
         the w-byte overlap near partition boundaries described in §2.1.
+        ``data`` is a memoryview, so region slices are zero-copy.
         """
         w = self.config.window_size
         lo = max(0, start - w + 1)
@@ -96,35 +103,36 @@ class HostParallelChunker:
         cuts = self.engine.candidate_cuts(slice_, self.config.mask, self.config.marker)
         return [lo + c for c in cuts if start < lo + c <= end]
 
-    def candidate_cuts(self, data: bytes) -> list[int]:
+    def candidate_cuts(self, data) -> list[int]:
         """Marker positions found by the SPMD scan (merged, sorted)."""
-        n = len(data)
+        mv = as_byte_view(data)
+        n = len(mv)
         if n == 0:
             return []
         region = max(1, (n + self.threads - 1) // self.threads)
         bounds = [(i, min(i + region, n)) for i in range(0, n, region)]
         if len(bounds) == 1:
-            return self._region_cuts(data, 0, n)
+            return self._region_cuts(mv, 0, n)
         with ThreadPoolExecutor(max_workers=self.threads) as pool:
-            parts = list(pool.map(lambda b: self._region_cuts(data, *b), bounds))
+            parts = list(pool.map(lambda b: self._region_cuts(mv, *b), bounds))
         merged: list[int] = []
         for part in parts:  # regions are disjoint and ordered
             merged.extend(part)
         return merged
 
-    def cuts(self, data: bytes) -> list[int]:
+    def cuts(self, data) -> list[int]:
         """Selected cut offsets after min/max rules (synchronized merge)."""
-        return select_cuts(
-            self.candidate_cuts(data), len(data), self.config.min_size, self.config.max_size
+        return select_cuts_fast(
+            self.candidate_cuts(data),
+            len(as_byte_view(data)),
+            self.config.min_size,
+            self.config.max_size,
         )
 
-    def chunk(self, data: bytes, base_offset: int = 0) -> list[Chunk]:
-        chunks = []
-        prev = 0
-        for cut in self.cuts(data):
-            chunks.append(Chunk.from_bytes(base_offset + prev, data[prev:cut]))
-            prev = cut
-        return chunks
+    def chunk(self, data, base_offset: int = 0) -> list[Chunk]:
+        """Zero-copy chunking: lazy view chunks with one batched digest pass."""
+        mv = as_byte_view(data)
+        return chunks_from_cuts(mv, self.cuts(mv), base_offset)
 
     # -- cost model (Fig. 12 CPU bars) ---------------------------------------
 

@@ -32,6 +32,7 @@ from typing import Iterable, Iterator
 
 from repro.core.buffers import PinnedRingBuffer
 from repro.core.chunking import Chunk, Chunker, ChunkerConfig, stream_chunks
+from repro.core.engines import as_byte_view
 from repro.core.host_chunker import HOARD, MALLOC, HostParallelChunker
 # Imported as a module (not names) to stay robust against the circular
 # package-init chain repro.gpu -> chunking_kernel -> repro.core -> here.
@@ -223,11 +224,25 @@ class Shredder:
 
     # ------------------------------------------------------------------
 
-    def _buffers(self, data: bytes | Iterable[bytes]) -> Iterator[bytes]:
-        if isinstance(data, (bytes, bytearray, memoryview)):
-            data = bytes(data)
-            for off in range(0, len(data), self.config.buffer_size):
-                yield data[off : off + self.config.buffer_size]
+    def _buffers(self, data) -> Iterator:
+        """Split input into buffer_size pieces.
+
+        Buffer-protocol inputs (bytes, bytearray, memoryview, mmap, NumPy
+        uint8 arrays, ...) are sliced through one memoryview — zero
+        copies; the chunking path scans the views in place.  Arbitrary
+        iterables are re-buffered with one copy per byte.
+        """
+        try:
+            mv = as_byte_view(data)
+        except TypeError:
+            mv = None  # not a buffer: re-buffer the iterable below
+        except BufferError:
+            # Non-contiguous buffer (e.g. a strided memoryview): views
+            # cannot represent it, so pay a one-time flattening copy.
+            mv = as_byte_view(bytes(data))
+        if mv is not None:
+            for off in range(0, len(mv), self.config.buffer_size):
+                yield mv[off : off + self.config.buffer_size]
             return
         # Re-buffer an arbitrary stream into buffer_size pieces.
         pending = bytearray()

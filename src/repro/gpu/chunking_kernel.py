@@ -145,13 +145,20 @@ class ChunkingKernel:
         """Execute the kernel over a device buffer.
 
         Returns ``(candidate_cuts, stats)`` where cuts are exclusive end
-        offsets within the buffer (min/max-agnostic).
+        offsets within the buffer (min/max-agnostic).  The device buffer
+        is scanned through its NumPy view — zero copies — via the
+        engine's striped data-parallel path, which is the same
+        lane-per-sub-stream layout the real kernel uses (§3.1).
         """
         data = buf.view()
         n = int(data.size)
-        cuts = self.engine.candidate_cuts(data, self.config.mask, self.config.marker)
-        stats = self.estimate(device, n, boundary_count=len(cuts), coalesced=coalesced)
-        return cuts, stats
+        cut_array = self.engine.candidate_cut_array(
+            data, self.config.mask, self.config.marker
+        )
+        stats = self.estimate(
+            device, n, boundary_count=int(cut_array.size), coalesced=coalesced
+        )
+        return cut_array.tolist(), stats
 
     def estimate(
         self,

@@ -193,6 +193,15 @@ class ChunkStoreCluster:
         """Batched, Bloom-filtered membership query (see lookup.py)."""
         return self.lookup.lookup_batch(digests)
 
+    def lookup_chunks(self, chunks) -> tuple[dict[bytes, bool], BatchLookupStats]:
+        """Batched membership query straight from chunk records.
+
+        Digests for the whole batch are materialized in one hashing pass
+        before the probe — lazy zero-copy chunks never pay a per-chunk
+        Python hashing round trip on the lookup path.
+        """
+        return self.lookup.lookup_chunks(chunks)
+
     # -- membership / failure / recovery -------------------------------
 
     def add_node(self, node_id: str | None = None) -> str:

@@ -201,6 +201,18 @@ class BatchedLookup:
         """Synchronous wrapper around :meth:`lookup_batch_async`."""
         return asyncio.run(self.lookup_batch_async(digests))
 
+    def lookup_chunks(self, chunks) -> tuple[dict[bytes, bool], BatchLookupStats]:
+        """Batched lookup of chunk records (digests hashed in one pass).
+
+        Entry point for the zero-copy chunking path: lazy chunks carry
+        buffer views, and their digests for the whole batch are computed
+        together (``ensure_digests``) before the node probes run.
+        """
+        from repro.core.chunking import ensure_digests
+
+        ensure_digests(chunks)
+        return self.lookup_batch([c.digest for c in chunks])
+
     # -- costing -------------------------------------------------------
 
     def modeled_seconds(self, stats: BatchLookupStats) -> float:

@@ -1,0 +1,410 @@
+"""Zero-copy fast path: differential fuzz, laziness, caches, batching.
+
+Covers the streaming/vectorized data path end to end:
+
+* differential fuzz of SerialEngine vs VectorEngine vs the zero-copy
+  ``stream_chunks`` across input types, odd buffer splits, all-zero runs
+  and sub-window buffers — cuts and digests must be bit-identical;
+* the O(N) guarantee of the streaming scan (regression test for the
+  quadratic carry re-concatenation);
+* lazy ``Chunk`` semantics (on-demand data/digest, release, pickling);
+* the vectorized ``select_cuts_fast`` vs the Python reference;
+* module-level table caches (Rabin position tables, engine pair tables);
+* batched hashing (``digest_chunks`` / ``ensure_digests``).
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import gf2
+from repro.core.chunking import (
+    Chunk,
+    Chunker,
+    ChunkerConfig,
+    ensure_digests,
+    select_cuts,
+    select_cuts_fast,
+    stream_chunks,
+)
+from repro.core.engines import (
+    SerialEngine,
+    VectorEngine,
+    as_uint8,
+    engine_tables,
+)
+from repro.core.hashing import chunk_hash, digest_chunks, digest_many
+from repro.core.rabin import RabinFingerprinter
+from tests.conftest import seeded_bytes
+
+# Small window/mask so random test inputs contain many boundaries.
+SMALL_POLY = gf2.find_irreducible(19, seed=3)
+SMALL_FP = RabinFingerprinter(SMALL_POLY, window_size=8)
+SMALL_MASK = (1 << 5) - 1
+SMALL_MARKER = 0x0B
+
+
+def small_config(**kw) -> ChunkerConfig:
+    return ChunkerConfig(
+        window_size=8, mask_bits=5, marker=SMALL_MARKER, polynomial=SMALL_POLY, **kw
+    )
+
+
+def split_buffers(data: bytes, sizes):
+    """Split ``data`` into buffers with the (cycled) given sizes."""
+    out, pos, i = [], 0, 0
+    while pos < len(data):
+        size = sizes[i % len(sizes)]
+        out.append(data[pos : pos + size])
+        pos += size
+        i += 1
+    return out
+
+
+class TestDifferentialFuzz:
+    """Serial vs vector vs zero-copy streaming: bit-identical everything."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("kind", ["bytes", "bytearray", "memoryview", "ndarray"])
+    def test_engines_agree_across_input_types(self, seed, kind):
+        raw = random.Random(seed).randbytes(4096 + seed * 997)
+        data = {
+            "bytes": raw,
+            "bytearray": bytearray(raw),
+            "memoryview": memoryview(raw),
+            "ndarray": np.frombuffer(raw, dtype=np.uint8),
+        }[kind]
+        serial = SerialEngine(SMALL_FP).candidate_cuts(data, SMALL_MASK, SMALL_MARKER)
+        vector = VectorEngine(SMALL_FP).candidate_cuts(data, SMALL_MASK, SMALL_MARKER)
+        assert serial == vector
+
+    def test_striped_path_matches_gather_path(self):
+        """Inputs past the lane threshold exercise the striped rolling scan."""
+        data = seeded_bytes(256 * 1024, seed=5)
+        wide = VectorEngine(SMALL_FP)
+        tiny = VectorEngine(SMALL_FP, lanes=64, tile_bytes=4096)  # many tiles
+        serial = SerialEngine(SMALL_FP)
+        expect = serial.candidate_cuts(data, SMALL_MASK, SMALL_MARKER)
+        assert wide.candidate_cuts(data, SMALL_MASK, SMALL_MARKER) == expect
+        assert tiny.candidate_cuts(data, SMALL_MASK, SMALL_MARKER) == expect
+
+    def test_striped_path_wide_mask(self):
+        """Masks wider than 16 bits roll with full-width fingerprints."""
+        data = seeded_bytes(128 * 1024, seed=6)
+        mask = (1 << 17) - 1
+        eng = VectorEngine(SMALL_FP, lanes=128, tile_bytes=8192)
+        assert eng.candidate_cuts(data, mask, 3) == SerialEngine(SMALL_FP).candidate_cuts(
+            data, mask, 3
+        )
+
+    def test_all_zero_runs(self):
+        data = bytes(16 * 1024) + seeded_bytes(1024, seed=7) + bytes(8 * 1024)
+        eng = VectorEngine(SMALL_FP, lanes=64, tile_bytes=2048)
+        assert eng.candidate_cuts(data, SMALL_MASK, SMALL_MARKER) == SerialEngine(
+            SMALL_FP
+        ).candidate_cuts(data, SMALL_MASK, SMALL_MARKER)
+
+    @pytest.mark.parametrize(
+        "sizes",
+        [
+            [1],  # every buffer below the window
+            [3, 5, 7],  # odd sizes straddling windows
+            [8192, 13, 1, 999],  # mixed large/tiny
+        ],
+    )
+    def test_stream_matches_whole_buffer(self, sizes):
+        data = seeded_bytes(20000, seed=11)
+        chunker = Chunker(small_config())
+        whole = chunker.chunk(data)
+        streamed = list(chunker.chunk_stream(split_buffers(data, sizes)))
+        assert [(c.offset, c.length) for c in streamed] == [
+            (c.offset, c.length) for c in whole
+        ]
+        assert [c.digest for c in streamed] == [c.digest for c in whole]
+        assert b"".join(c.data for c in streamed) == data
+
+    @pytest.mark.parametrize("kind", ["bytearray", "memoryview", "ndarray"])
+    def test_stream_buffer_protocol_inputs(self, kind):
+        data = seeded_bytes(10000, seed=13)
+        wrap = {
+            "bytearray": lambda b: bytearray(b),
+            "memoryview": lambda b: memoryview(b),
+            "ndarray": lambda b: np.frombuffer(b, dtype=np.uint8),
+        }[kind]
+        chunker = Chunker(small_config())
+        whole = chunker.chunk(data)
+        pieces = [wrap(p) for p in split_buffers(data, [777, 41, 2048])]
+        streamed = list(chunker.chunk_stream(pieces))
+        assert [c.digest for c in streamed] == [c.digest for c in whole]
+
+    @given(
+        seed=st.integers(0, 1000),
+        split=st.lists(st.integers(1, 3000), min_size=1, max_size=8),
+        min_size=st.sampled_from([0, 16, 100]),
+        max_size=st.sampled_from([None, 256, 1024]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_stream_fuzz_minmax(self, seed, split, min_size, max_size):
+        data = seeded_bytes(sum(split), seed=seed)
+        cfg = small_config(min_size=min_size, max_size=max_size)
+        chunker = Chunker(cfg)
+        whole = chunker.chunk(data)
+        pieces, pos = [], 0
+        for s in split:
+            pieces.append(data[pos : pos + s])
+            pos += s
+        streamed = list(chunker.chunk_stream(pieces))
+        assert [(c.offset, c.length, c.digest) for c in streamed] == [
+            (c.offset, c.length, c.digest) for c in whole
+        ]
+
+    def test_kernel_runs_serial_engine(self):
+        """Odd windows select SerialEngine; the GPU kernel must still run
+        (candidate_cut_array has a base-class fallback)."""
+        from repro.core import ShredderConfig, ShredderExecutor
+
+        data = seeded_bytes(8 * 1024, seed=53)
+        config = ShredderConfig(
+            chunker=ChunkerConfig(window_size=47, mask_bits=5, marker=SMALL_MARKER),
+            buffer_size=4096,
+        )
+        executor = ShredderExecutor(config)
+        chunks, _ = executor.run(data)
+        assert b"".join(c.data for c in chunks) == data
+
+    def test_serial_engine_stream_agrees(self):
+        """The streaming layer is engine-agnostic: serial == vector."""
+        data = seeded_bytes(6000, seed=17)
+        cfg = small_config()
+        serial = Chunker(cfg, SerialEngine(SMALL_FP))
+        vector = Chunker(cfg, VectorEngine(SMALL_FP))
+        pieces = split_buffers(data, [501, 7, 1999])
+        a = list(serial.chunk_stream(pieces))
+        b = list(vector.chunk_stream(pieces))
+        assert [(c.offset, c.digest) for c in a] == [(c.offset, c.digest) for c in b]
+
+
+class TestStreamLinearity:
+    """Regression test for the quadratic carry re-concatenation."""
+
+    def test_markerless_stream_scans_linear_bytes(self):
+        # Zero bytes never match the nonzero marker, so nothing is ever
+        # emitted mid-stream: the old implementation re-scanned (and
+        # re-copied) the whole growing carry for every buffer — O(N^2).
+        cfg = ChunkerConfig(mask_bits=13, marker=0x1A2B)
+        chunker = Chunker(cfg)
+        n_buffers, buf_size = 64, 8192
+        scanned = 0
+
+        def counting(data):
+            nonlocal scanned
+            scanned += len(data)
+            return chunker.candidate_cuts(data)
+
+        pieces = [bytes(buf_size)] * n_buffers
+        chunks = list(stream_chunks(counting, cfg, pieces, carry_limit=1 << 30))
+        total = n_buffers * buf_size
+        assert sum(c.length for c in chunks) == total
+        # Each buffer is scanned once, plus a <=2(w-1)-byte boundary splice.
+        assert scanned <= total + n_buffers * 2 * cfg.window_size
+        # The quadratic path would have scanned sum(i * buf) ~ N^2 / 2.
+        assert scanned < total * 2
+
+    def test_stream_chunks_are_lazy_views(self):
+        cfg = small_config()
+        chunker = Chunker(cfg)
+        data = seeded_bytes(32 * 1024, seed=19)
+        chunks = list(chunker.chunk_stream(split_buffers(data, [4096])))
+        assert all(c._data is None for c in chunks)  # nothing materialized
+        ensure_digests(chunks)
+        assert all(c._data is None for c in chunks)  # hashing didn't copy
+        assert b"".join(c.data for c in chunks) == data
+
+
+class TestLazyChunk:
+    def test_digest_without_materializing_data(self):
+        payload = seeded_bytes(4096, seed=23)
+        chunk = Chunk(0, 4096, views=(memoryview(payload),))
+        assert chunk._data is None
+        assert chunk.digest == chunk_hash(payload)
+        assert chunk._data is None
+        assert chunk.data == payload
+
+    def test_multi_view_chunk(self):
+        a, b = b"hello ", b"world"
+        chunk = Chunk(10, 11, views=(memoryview(a), memoryview(b)))
+        assert chunk.data == b"hello world"
+        assert chunk.digest == chunk_hash(b"hello world")
+
+    def test_equality_and_hash(self):
+        payload = b"x" * 100
+        eager = Chunk.from_bytes(5, payload)
+        lazy = Chunk(5, 100, views=(memoryview(payload),))
+        assert eager == lazy
+        assert hash(eager) == hash(lazy)
+        assert eager != Chunk.from_bytes(6, payload)
+
+    def test_release_keeps_digest_drops_data(self):
+        payload = b"y" * 64
+        chunk = Chunk(0, 64, views=(memoryview(payload),))
+        chunk.release()
+        assert chunk.digest == chunk_hash(payload)
+        with pytest.raises(ValueError, match="released"):
+            chunk.data
+
+    def test_pickle_materializes(self):
+        payload = seeded_bytes(512, seed=29)
+        chunk = Chunk(7, 512, views=(memoryview(payload),))
+        clone = pickle.loads(pickle.dumps(chunk))
+        assert clone == chunk
+        assert clone.data == payload
+
+    def test_requires_some_payload_source(self):
+        with pytest.raises(ValueError, match="needs"):
+            Chunk(0, 10)
+
+    def test_constructor_keyword_compat(self):
+        data = b"z" * 32
+        chunk = Chunk(offset=1, length=32, data=data, digest=chunk_hash(data))
+        assert chunk.data == data
+
+
+class TestSelectCutsFast:
+    @given(
+        candidates=st.lists(st.integers(1, 499), max_size=40).map(sorted),
+        min_size=st.integers(0, 60),
+        max_size=st.sampled_from([None, 60, 100, 200]),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_matches_reference(self, candidates, min_size, max_size):
+        if max_size is not None and max_size < min_size:
+            min_size, max_size = max_size, min_size
+        assert select_cuts_fast(candidates, 500, min_size, max_size) == select_cuts(
+            candidates, 500, min_size, max_size
+        )
+
+    def test_empty(self):
+        assert select_cuts_fast([], 0) == []
+        assert select_cuts_fast([], 100) == [100]
+
+    def test_beyond_length_raises(self):
+        with pytest.raises(ValueError, match="beyond"):
+            select_cuts_fast([200], 100)
+
+    def test_accepts_ndarray_candidates(self):
+        cand = np.array([10, 30, 70], dtype=np.int64)
+        assert select_cuts_fast(cand, 100) == [10, 30, 70, 100]
+
+
+class TestTableCaches:
+    def test_engine_pair_tables_shared(self):
+        a = VectorEngine(RabinFingerprinter(SMALL_POLY, window_size=8))
+        b = VectorEngine(RabinFingerprinter(SMALL_POLY, window_size=8))
+        assert a._pair_tables is b._pair_tables
+        assert a._low_tables is b._low_tables
+        assert a._out_table is b._out_table
+
+    def test_position_tables_shared(self):
+        a = RabinFingerprinter(SMALL_POLY, window_size=8)
+        b = RabinFingerprinter(SMALL_POLY, window_size=8)
+        assert a.position_tables() is b.position_tables()
+
+    def test_cache_keyed_by_polynomial_and_window(self):
+        base = engine_tables(RabinFingerprinter(SMALL_POLY, window_size=8))
+        other_w = engine_tables(RabinFingerprinter(SMALL_POLY, window_size=10))
+        assert base is not other_w
+        other_poly = engine_tables(
+            RabinFingerprinter(gf2.find_irreducible(21, seed=9), window_size=8)
+        )
+        assert base is not other_poly
+
+    def test_fresh_chunkers_share_default_tables(self):
+        a = Chunker(ChunkerConfig(mask_bits=12, marker=0xABC, min_size=1024, max_size=16384))
+        b = Chunker(ChunkerConfig())
+        assert a.engine._pair_tables is b.engine._pair_tables
+
+
+class TestBatchedHashing:
+    def test_digest_chunks_matches_per_chunk(self):
+        data = seeded_bytes(64 * 1024, seed=31)
+        cuts = [1000, 5000, 5001, 40000, len(data)]
+        expect = []
+        prev = 0
+        for cut in cuts:
+            expect.append(chunk_hash(data[prev:cut]))
+            prev = cut
+        assert digest_chunks(data, cuts) == expect
+        assert digest_chunks(memoryview(data), cuts, parallel=True) == expect
+
+    def test_digest_many_parallel_identical(self):
+        pieces = [seeded_bytes(3000 + i, seed=i) for i in range(50)]
+        assert digest_many(pieces, parallel=True) == digest_many(pieces, parallel=False)
+
+    def test_ensure_digests_fills_only_missing(self):
+        data = seeded_bytes(8192, seed=37)
+        precomputed = Chunk.from_bytes(0, data[:4096])
+        lazy = Chunk(4096, 4096, views=(memoryview(data)[4096:],))
+        marker = precomputed._digest
+        ensure_digests([precomputed, lazy])
+        assert precomputed._digest is marker
+        assert lazy._digest == chunk_hash(data[4096:])
+
+    def test_as_uint8_zero_copy(self):
+        raw = bytearray(b"abcdef" * 100)
+        arr = as_uint8(raw)
+        assert np.shares_memory(arr, np.frombuffer(memoryview(raw), dtype=np.uint8))
+        raw[0] = 0x7A  # view reflects mutation: no copy was made
+        assert arr[0] == 0x7A
+
+    def test_non_contiguous_buffers(self):
+        """Strided views can't be zero-copy viewed; Shredder flattens them."""
+        from repro.core import Shredder, ShredderConfig
+        from repro.core.engines import as_byte_view
+
+        data = seeded_bytes(16 * 1024, seed=41)
+        strided = memoryview(data)[::2]
+        with pytest.raises(BufferError):
+            as_byte_view(strided)
+        with Shredder(ShredderConfig.cpu()) as shredder:
+            chunks, _ = shredder.process(strided)
+        assert b"".join(c.data for c in chunks) == bytes(strided)
+
+    def test_non_contiguous_ndarray(self):
+        """N-D strided arrays raise BufferError too, so the Shredder
+        fallback (one-time flatten) fires instead of misrouting."""
+        from repro.core import Shredder, ShredderConfig
+        from repro.core.engines import as_byte_view
+
+        arr = np.frombuffer(seeded_bytes(8192, seed=43), dtype=np.uint8)
+        strided_2d = arr.reshape(64, 128)[:, ::2]
+        with pytest.raises(BufferError):
+            as_byte_view(strided_2d)
+        with Shredder(ShredderConfig.cpu()) as shredder:
+            chunks, _ = shredder.process(strided_2d)
+        assert b"".join(c.data for c in chunks) == strided_2d.tobytes()
+
+    def test_stream_snapshots_recycled_writable_buffers(self):
+        """A producer that refills one bytearray between yields (the
+        classic read-into-buffer loop) must still produce correct chunks:
+        writable buffers are snapshotted, never aliased."""
+        data = seeded_bytes(96 * 1024, seed=47)
+        chunker = Chunker(small_config())
+        whole = chunker.chunk(data)
+
+        def recycling_producer(piece_size=8192):
+            scratch = bytearray(piece_size)
+            for pos in range(0, len(data), piece_size):
+                piece = data[pos : pos + piece_size]
+                scratch[: len(piece)] = piece
+                yield memoryview(scratch)[: len(piece)]
+
+        streamed = list(chunker.chunk_stream(recycling_producer()))
+        assert [(c.offset, c.length, c.digest) for c in streamed] == [
+            (c.offset, c.length, c.digest) for c in whole
+        ]

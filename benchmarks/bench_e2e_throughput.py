@@ -51,13 +51,20 @@ from repro.core import (
     SerialEngine,
     default_engine,
     ensure_digests,
+    get_threads,
     select_cuts,
+    set_threads,
 )
 from repro.store.cluster import ChunkStoreCluster
 from repro.workloads import seeded_bytes
 
 MB = 1 << 20
 TARGET_SPEEDUP = 3.0
+#: Thread-sweep acceptance: 4 scan/hash workers must beat 1 by this
+#: factor on the fast path — only asserted on hosts with >= 4 CPUs
+#: (thread scaling cannot be demonstrated on a 1-2 core runner; the
+#: sweep rows are still recorded so the curve is visible either way).
+TARGET_THREAD_SPEEDUP = 1.5
 REGRESSION_TOLERANCE = 0.30
 #: Speedup ratios are only recorded (and gated) for sizes at least this
 #: large: sub-4 MiB runs finish in tens of milliseconds, where co-tenant
@@ -173,13 +180,14 @@ def run_sweep(quick: bool) -> dict:
     rows: list[dict] = []
     speedups: dict[str, float] = {}
 
-    def record(size, eng, backend, path, seconds, n_chunks):
+    def record(size, eng, backend, path, seconds, n_chunks, threads=1):
         rows.append(
             {
                 "size_bytes": size,
                 "engine": eng,
                 "backend": backend,
                 "path": path,
+                "threads": threads,
                 "seconds": round(seconds, 6),
                 "mib_per_s": round(size / MB / seconds, 3),
                 "n_chunks": n_chunks,
@@ -194,7 +202,8 @@ def run_sweep(quick: bool) -> dict:
             fast_s, (fast_chunks, _) = timed(
                 fast_pipeline, data, chunker, backend, repeats=repeats
             )
-            record(size, "vector", backend, "fast", fast_s, len(fast_chunks))
+            record(size, "vector", backend, "fast", fast_s, len(fast_chunks),
+                   threads=get_threads())
             if backend == "single":
                 ref_s, (ref_chunks, _) = timed(
                     reference_pipeline, data, CONFIG, engine, repeats=repeats
@@ -221,6 +230,59 @@ def run_sweep(quick: bool) -> dict:
             (c.offset, c.digest) for c in serial_chunks
         ]:
             raise AssertionError("vector path diverged from SerialEngine")
+
+    # -- thread sweep: the multi-core scaling curve ---------------------
+    # The sweep input must span one 4 MiB scan tile *per worker* or the
+    # engine rightly refuses to fan that wide: 16 MiB is the floor for
+    # an honest 4-thread row (8 MiB would silently run 2 workers).
+    # Affinity-aware count: on cgroup/affinity-limited runners
+    # os.cpu_count() overstates the parallelism actually available, and
+    # the scaling gate below must not demand speedups the kernel won't
+    # schedule.
+    cpus = (
+        len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity")
+        else os.cpu_count()
+    ) or 1
+    sweep_size = 16 * MB
+    thread_counts = sorted({1, 2, 4, cpus})
+    data = seeded_bytes(sweep_size, seed=sweep_size & 0xFFFF)
+    sweep_mibs: dict[int, float] = {}
+    reference_shape = None
+    try:
+        for t in thread_counts:
+            set_threads(t)
+            seconds, (sweep_chunks, _) = timed(
+                fast_pipeline, data, chunker, "single", repeats=2
+            )
+            shape = [(c.offset, c.length, c.digest) for c in sweep_chunks]
+            if reference_shape is None:
+                reference_shape = shape
+            elif shape != reference_shape:
+                raise AssertionError(
+                    f"threaded scan at {t} threads diverged from 1 thread"
+                )
+            record(sweep_size, "vector", "single", "fast", seconds,
+                   len(sweep_chunks), threads=t)
+            sweep_mibs[t] = round(sweep_size / MB / seconds, 3)
+    finally:
+        set_threads(None)
+    thread_sweep = {
+        "size_bytes": sweep_size,
+        "cpus": cpus,
+        "mib_per_s": {str(t): v for t, v in sweep_mibs.items()},
+    }
+    if 4 in sweep_mibs:
+        thread_sweep["speedup_4_vs_1"] = round(sweep_mibs[4] / sweep_mibs[1], 3)
+        acceptance["thread_speedup_4v1"] = thread_sweep["speedup_4_vs_1"]
+        if not quick and cpus >= 4 and (
+            thread_sweep["speedup_4_vs_1"] < TARGET_THREAD_SPEEDUP
+        ):
+            raise AssertionError(
+                f"4-thread fast path only {thread_sweep['speedup_4_vs_1']:.2f}x "
+                f"the 1-thread rate (target >= {TARGET_THREAD_SPEEDUP}x on a "
+                f"{cpus}-CPU host)"
+            )
 
     if acceptance_size is not None:
         # Bit-identical to the pure-Python reference engine on the full
@@ -251,9 +313,17 @@ def run_sweep(quick: bool) -> dict:
             "python": platform.python_version(),
             "numpy": np.__version__,
             "cpus": os.cpu_count(),
+            # CPUs this process may actually use (cgroup/affinity-aware);
+            # the honest parallelism ceiling on containerized runners.
+            "cpus_available": (
+                len(os.sched_getaffinity(0))
+                if hasattr(os, "sched_getaffinity")
+                else os.cpu_count()
+            ),
         },
         "rows": rows,
         "speedups": speedups,
+        "thread_sweep": thread_sweep,
         "acceptance": acceptance,
     }
 
@@ -266,15 +336,16 @@ def run_sweep(quick: bool) -> dict:
 def build_table(result: dict) -> ResultTable:
     table = ResultTable(
         "End-to-end chunk+hash+dedup throughput",
-        ["Size", "Engine", "Backend", "Path", "Seconds", "MiB/s"],
+        ["Size", "Engine", "Backend", "Path", "Thr", "Seconds", "MiB/s"],
         paper_note="fast = zero-copy striped scan + batched hash/lookup; "
-        "reference = pre-optimization per-chunk path",
+        "reference = pre-optimization per-chunk path; Thr = worker threads",
     )
     for row in result["rows"]:
         size = row["size_bytes"]
         label = f"{size // MB} MiB" if size >= MB else f"{size // 1024} KiB"
         table.add(
             label, row["engine"], row["backend"], row["path"],
+            row.get("threads", 1),
             f"{row['seconds']:.3f}", f"{row['mib_per_s']:.1f}",
         )
     return table
@@ -357,6 +428,14 @@ def main(argv=None) -> int:
         print("\nfast-path speedup vs pre-optimization reference:")
         for key, speedup in result["speedups"].items():
             print(f"  {key:24s} {speedup:5.2f}x")
+    sweep = result.get("thread_sweep", {})
+    if sweep.get("mib_per_s"):
+        label = f"{sweep['size_bytes'] // MB} MiB"
+        print(f"\nthread sweep on {label} ({sweep['cpus']} CPU host):")
+        for t, mibs in sweep["mib_per_s"].items():
+            print(f"  {t:>3s} thread(s)  {mibs:8.1f} MiB/s")
+        if "speedup_4_vs_1" in sweep:
+            print(f"  4-thread vs 1-thread: {sweep['speedup_4_vs_1']:.2f}x")
     if "speedup_64mib" in result["acceptance"]:
         print(f"\nacceptance: {result['acceptance']['speedup_64mib']:.2f}x on 64 MiB "
               f"(target >= {TARGET_SPEEDUP}x), serial-identical: "

@@ -26,6 +26,18 @@ index stage runs through its batched, Bloom-filtered lookup path —
 the optimization §7.3's closing discussion points at: the per-digest
 dispatch cost amortizes over the batch and negative lookups stop
 paying the full-index miss price.
+
+With ``pipelined=True`` (the default) the server *executes* as the
+paper's pipeline instead of running stage-at-a-time: chunks arrive in
+digested batches from a bounded scan→hash pipeline
+(:meth:`repro.core.shredder.Shredder.pipeline_batches`), and each
+batch's index/cluster lookups and agent shipping run while later
+buffers are still being scanned and hashed.  Chunks, dedup decisions,
+shipped bytes, and recipes are bit-identical to the unpipelined path
+(``pipelined=False``, kept for differential testing); only the
+cluster's ``lookup_stats`` batch counters — and therefore the modeled
+index-stage seconds — may differ, because probes are issued per
+pipeline batch instead of once per snapshot.
 """
 
 from __future__ import annotations
@@ -82,6 +94,12 @@ class BackupConfig:
     batch_rtt_s: float = 5e-5
     bloom_probe_s: float = 2e-7
     bloom_fp_rate: float = 0.01
+    #: Execute the backup as a bounded scan → hash → lookup/ship
+    #: pipeline (stage overlap on real threads); ``False`` runs the
+    #: stage-at-a-time path, kept bit-identical for differential tests.
+    pipelined: bool = True
+    #: Chunks per pipeline batch handed to the lookup/ship stage.
+    pipeline_batch_chunks: int = 256
 
     def __post_init__(self) -> None:
         if self.backend not in ("gpu", "cpu"):
@@ -92,6 +110,8 @@ class BackupConfig:
             raise ValueError("cluster_nodes must be >= 1")
         if self.lookup_batch_size < 1:
             raise ValueError("lookup_batch_size must be >= 1")
+        if self.pipeline_batch_chunks < 1:
+            raise ValueError("pipeline_batch_chunks must be >= 1")
 
 
 @dataclass
@@ -193,49 +213,87 @@ class BackupServer:
 
     # ------------------------------------------------------------------
 
-    def backup_snapshot(self, data: bytes, snapshot_id: str) -> BackupReport:
-        """Deduplicate and ship one image snapshot to the backup site."""
-        cfg = self.config
-        chunks, shred_report = self.shredder.process(data)
-        # The shredder's chunks are zero-copy views; hash the whole scan
-        # batch in one pass before any digest is consumed below.
-        ensure_digests(chunks)
+    def _decide_batch(
+        self,
+        batch,
+        seen: set[bytes],
+        lookup_stats: BatchLookupStats | None,
+    ) -> list[bool]:
+        """Dup/unique decision per chunk of one ordered batch.
 
-        # One batched index probe for the whole snapshot (the per-chunk
-        # lookup loop this replaces is the §7.3 "unoptimized" shape).
-        lookup_stats: BatchLookupStats | None = None
+        ``seen`` carries digests from earlier batches of the same
+        snapshot, so a repeat of a digest whose first copy already
+        shipped becomes a pointer — exactly the whole-snapshot
+        semantics, evaluated incrementally.
+        """
         if self.cluster is not None:
             # The cluster is authoritative: hits are chunks some shard
-            # already stores.  Repeats of a new digest within this
-            # snapshot become pointers once the first copy has shipped.
-            hit_map, lookup_stats = self.cluster.lookup_chunks(chunks)
-            seen: set[bytes] = set()
+            # already stores.  Probe only digests this snapshot has not
+            # decided yet — earlier batches' digests are dups by
+            # definition (their first copy shipped or was a hit).
+            fresh = [c for c in batch if c.digest not in seen]
+            hit_map: dict[bytes, bool] = {}
+            if fresh:
+                hit_map, stats = self.cluster.lookup_chunks(fresh)
+                lookup_stats.merge(stats)
             decisions = []
-            for chunk in chunks:
-                decisions.append(hit_map[chunk.digest] or chunk.digest in seen)
+            for chunk in batch:
+                decisions.append(
+                    chunk.digest in seen or hit_map.get(chunk.digest, False)
+                )
                 seen.add(chunk.digest)
             # Keep the server-side index warm so both backends expose
             # identical dedup statistics.
-            self.index.lookup_or_insert_batch(chunks)
-        else:
-            decisions = [
-                is_dup
-                for is_dup, _ in self.index.lookup_or_insert_batch(chunks)
-            ]
+            self.index.lookup_or_insert_batch(batch)
+            return decisions
+        return [is_dup for is_dup, _ in self.index.lookup_or_insert_batch(batch)]
 
+    def backup_snapshot(self, data: bytes, snapshot_id: str) -> BackupReport:
+        """Deduplicate and ship one image snapshot to the backup site.
+
+        Pipelined (the default): digested chunk batches stream out of
+        the bounded scan→hash pipeline in input order, and this stage's
+        batched index/cluster probes + agent shipping overlap the scan
+        and hash of later buffers.  ``pipelined=False`` falls back to
+        stage-at-a-time execution (one batch spanning the snapshot);
+        both produce identical chunks, decisions, shipped bytes, and
+        recipes (the cluster's per-batch lookup counters are the one
+        observable allowed to differ).
+        """
+        cfg = self.config
+        if cfg.pipelined:
+            batches = self.shredder.pipeline_batches(
+                data, batch_chunks=cfg.pipeline_batch_chunks
+            )
+        else:
+            whole = self.shredder.process(data)[0]
+            ensure_digests(whole)
+            batches = iter([whole])
+
+        lookup_stats: BatchLookupStats | None = (
+            BatchLookupStats() if self.cluster is not None else None
+        )
+        seen: set[bytes] = set()
         self.agent.begin_snapshot(snapshot_id)
+        n_chunks = 0
         duplicates = 0
         shipped = 0
-        for chunk, is_dup in zip(chunks, decisions):
-            if is_dup:
-                duplicates += 1
-                self.agent.receive_pointer(snapshot_id, chunk.digest)
-            else:
-                shipped += chunk.length
-                # Only unique chunks materialize their payload; the digest
-                # rides along as an end-to-end integrity check the site
-                # verifies before storing.
-                self.agent.receive_chunk(snapshot_id, chunk.data, digest=chunk.digest)
+        for batch in batches:
+            n_chunks += len(batch)
+            for chunk, is_dup in zip(
+                batch, self._decide_batch(batch, seen, lookup_stats)
+            ):
+                if is_dup:
+                    duplicates += 1
+                    self.agent.receive_pointer(snapshot_id, chunk.digest)
+                else:
+                    shipped += chunk.length
+                    # Only unique chunks materialize their payload; the
+                    # digest rides along as an end-to-end integrity check
+                    # the site verifies before storing.
+                    self.agent.receive_chunk(
+                        snapshot_id, chunk.data, digest=chunk.digest
+                    )
         transfer = self.agent.finish_snapshot(snapshot_id)
 
         n = len(data)
@@ -244,7 +302,7 @@ class BackupServer:
             cfg.chunker.min_size > 0 or cfg.chunker.max_size is not None
         ):
             chunk_seconds += n * cfg.minmax_filter_s_per_byte
-        unique = len(chunks) - duplicates
+        unique = n_chunks - duplicates
         if lookup_stats is not None:
             lookup_seconds = self.cluster.lookup.modeled_seconds(lookup_stats)
         else:
@@ -260,7 +318,7 @@ class BackupServer:
         return BackupReport(
             snapshot_id=snapshot_id,
             total_bytes=n,
-            n_chunks=len(chunks),
+            n_chunks=n_chunks,
             duplicate_chunks=duplicates,
             shipped_bytes=shipped,
             stage_seconds=stage_seconds,

@@ -42,11 +42,29 @@ def _chunker_config(args) -> "ChunkerConfig":
     )
 
 
+def _apply_threads(args) -> None:
+    """Plumb ``--threads`` to the scan engine and hash pool.
+
+    ``set_threads`` governs both shared worker pools and every engine
+    built afterwards (0/1 = serial).  The default (no flag) auto-detects
+    from ``REPRO_THREADS`` or the host CPU count.
+    """
+    threads = getattr(args, "threads", None)
+    if threads is not None:
+        from repro.core.threads import set_threads
+
+        try:
+            set_threads(threads)
+        except ValueError as exc:
+            raise SystemExit(f"invalid --threads: {exc}")
+
+
 def cmd_chunk(args) -> int:
     import mmap
 
     from repro.core import Chunker, size_stats
 
+    _apply_threads(args)
     chunker = Chunker(_chunker_config(args))
     # Zero-copy path: chunk the file through an mmap'd memoryview — the
     # scan, boundary selection, and batched hashing all run against the
@@ -147,6 +165,7 @@ def cmd_table1(args) -> int:
 def cmd_backup(args) -> int:
     from repro.backup import BackupConfig, BackupServer
 
+    _apply_threads(args)
     data = _read(args.file)
     with BackupServer(BackupConfig(backend=args.backend)) as server:
         report = server.backup_snapshot(data, "cli")
@@ -164,6 +183,7 @@ def cmd_backup(args) -> int:
 def cmd_cluster(args) -> int:
     from repro.backup import BackupConfig, BackupServer
 
+    _apply_threads(args)
     data = _read(args.file)
     try:
         config = BackupConfig(
@@ -231,10 +251,16 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--min-size", type=int, default=0)
         p.add_argument("--max-size", type=int, default=None)
 
+    def add_threads_arg(p):
+        p.add_argument("--threads", type=int, default=None, metavar="N",
+                       help="worker threads for the scan + hash pools "
+                       "(0/1 = serial; default: REPRO_THREADS or CPU count)")
+
     p_chunk = sub.add_parser("chunk", help="content-based chunking of a file")
     p_chunk.add_argument("file")
     p_chunk.add_argument("--all", action="store_true", help="print every chunk")
     add_chunker_args(p_chunk)
+    add_threads_arg(p_chunk)
     p_chunk.set_defaults(fn=cmd_chunk)
 
     p_dedup = sub.add_parser("dedup", help="cross-file dedup statistics")
@@ -252,6 +278,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_backup = sub.add_parser("backup", help="one-shot dedup backup of a file")
     p_backup.add_argument("file")
     p_backup.add_argument("--backend", choices=("gpu", "cpu"), default="gpu")
+    add_threads_arg(p_backup)
     p_backup.set_defaults(fn=cmd_backup)
 
     p_cluster = sub.add_parser(
@@ -270,6 +297,7 @@ def build_parser() -> argparse.ArgumentParser:
                            help="digests per batched index lookup")
     p_cluster.add_argument("--fail-node", action="store_true",
                            help="kill the fullest node, repair, then restore")
+    add_threads_arg(p_cluster)
     p_cluster.set_defaults(fn=cmd_cluster)
 
     return parser

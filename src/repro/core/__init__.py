@@ -8,12 +8,22 @@ from repro.core.chunking import (
     ChunkerConfig,
     chunk_sizes,
     ensure_digests,
+    pipeline_chunks,
     select_cuts,
     select_cuts_fast,
 )
 from repro.core.dedup import DedupIndex, DedupStats
-from repro.core.engines import Engine, SerialEngine, VectorEngine, as_byte_view, as_uint8, default_engine
+from repro.core.engines import (
+    Engine,
+    SerialEngine,
+    VectorEngine,
+    as_byte_view,
+    as_uint8,
+    default_engine,
+    parallel_candidate_cuts,
+)
 from repro.core.hashing import chunk_hash, digest_chunks, digest_many, short_hash, weak_checksum
+from repro.core.threads import close_pools, get_threads, set_threads
 from repro.core.host_chunker import HOARD, MALLOC, AllocatorModel, HostParallelChunker
 from repro.core.executor import BoundaryStitcher, ExecutionTotals, ShredderExecutor
 from repro.core.parallel_minmax import compute_jumps, parallel_select_cuts
@@ -28,10 +38,12 @@ __all__ = [
     "compute_jumps", "parallel_select_cuts",
     "DoubleBuffer", "PinnedRingBuffer", "RingSlot",
     "Chunk", "Chunker", "ChunkerConfig", "chunk_sizes", "ensure_digests",
-    "select_cuts", "select_cuts_fast",
+    "pipeline_chunks", "select_cuts", "select_cuts_fast",
     "DedupIndex", "DedupStats",
-    "Engine", "SerialEngine", "VectorEngine", "as_byte_view", "as_uint8", "default_engine",
+    "Engine", "SerialEngine", "VectorEngine", "as_byte_view", "as_uint8",
+    "default_engine", "parallel_candidate_cuts",
     "chunk_hash", "digest_chunks", "digest_many", "short_hash", "weak_checksum",
+    "close_pools", "get_threads", "set_threads",
     "HOARD", "MALLOC", "AllocatorModel", "HostParallelChunker",
     "PipelineError", "Stage", "StreamingPipeline",
     "DEFAULT_WINDOW_SIZE", "RabinFingerprinter", "default_polynomial",

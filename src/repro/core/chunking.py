@@ -20,6 +20,8 @@ size of ``2**13`` bytes, with ``min = 0`` and ``max = ∞`` unless noted.
 
 from __future__ import annotations
 
+import queue
+import threading
 from bisect import bisect_left
 from collections import deque
 from dataclasses import dataclass, replace
@@ -46,6 +48,7 @@ __all__ = [
     "select_cuts_fast",
     "chunk_sizes",
     "ensure_digests",
+    "pipeline_chunks",
 ]
 
 #: Default number of low-order fingerprint bits compared against the marker
@@ -498,6 +501,176 @@ def stream_chunks(
         yield Chunk(prev, end - prev, views=take(end))
 
 
+#: Default chunks per pipeline batch: at the 8 KiB expected chunk size
+#: this is ~2 MiB of payload per hashing pass — big enough to amortize
+#: dispatch, small enough that three in-flight batches stay cache-warm.
+DEFAULT_PIPELINE_BATCH = 256
+
+_PIPE_END = object()
+
+
+class _PipelineHandoff:
+    """Bounded queues + stop/error plumbing between pipeline stages.
+
+    Deliberately separate from :class:`repro.core.pipeline.
+    StreamingPipeline`: that runs a *finite* item list to completion and
+    returns a list, while :func:`pipeline_chunks` must stream batches to
+    a consumer generator with backpressure (the consumer is the third
+    stage) and survive early ``close()`` — different lifecycle, shared
+    error type.
+    """
+
+    __slots__ = ("stop", "errors", "_queues")
+
+    def __init__(self, n_queues: int, depth: int) -> None:
+        self.stop = threading.Event()
+        self.errors: list[BaseException] = []
+        self._queues = [queue.Queue(maxsize=depth) for _ in range(n_queues)]
+
+    def put(self, i: int, item) -> bool:
+        """Blocking put that aborts when the pipeline is torn down."""
+        while not self.stop.is_set():
+            try:
+                self._queues[i].put(item, timeout=0.05)
+                return True
+            except queue.Full:
+                continue
+        return False
+
+    def get(self, i: int):
+        """Blocking get that drains queued items even after stop."""
+        while True:
+            try:
+                return self._queues[i].get(timeout=0.05)
+            except queue.Empty:
+                if self.stop.is_set():
+                    return _PIPE_END
+
+    def fail(self, exc: BaseException) -> None:
+        self.errors.append(exc)
+        self.stop.set()
+
+
+def pipeline_chunks(
+    candidate_fn,
+    config: ChunkerConfig,
+    buffers: Iterable,
+    carry_limit: int = 1 << 26,
+    batch_chunks: int = DEFAULT_PIPELINE_BATCH,
+    queue_depth: int = 4,
+) -> Iterator[list[Chunk]]:
+    """Stage-overlapped chunking: scan || hash || consume (§4.2 on the CPU).
+
+    Runs :func:`stream_chunks` on a *scan* worker thread and
+    :func:`ensure_digests` on a *hash* worker thread, connected by
+    bounded queues, and yields successive **batches** (lists) of
+    digested :class:`Chunk` records to the caller — so hashing batch
+    ``i`` overlaps scanning batch ``i + 1``, and whatever the caller
+    does with a batch (index probes, cluster lookups, shipping)
+    overlaps both.  NumPy releases the GIL inside the scan and
+    ``hashlib`` inside the hash, so the three stages genuinely run
+    concurrently on multi-core hosts.
+
+    Batches preserve stream order exactly: concatenating them yields
+    the same chunk sequence (offsets, lengths, digests) as
+    ``stream_chunks`` followed by one big ``ensure_digests`` pass.
+    ``queue_depth`` bounds in-flight batches per queue (the pinned-ring
+    role from the paper's GPU pipeline: bounded buffering, no
+    unbounded memory growth when one stage stalls).
+
+    A stage exception tears the pipeline down and re-raises in the
+    consumer (as :class:`~repro.core.pipeline.PipelineError`).  Closing
+    the generator early stops both workers.
+
+    With the process-wide thread setting at 0/1 (``REPRO_THREADS`` /
+    :func:`repro.core.threads.set_threads`) the stages run inline on
+    the calling thread — no workers, same batches, same error type —
+    so the serial configuration is genuinely single-threaded.
+    """
+    from repro.core.pipeline import PipelineError  # shared error type
+    from repro.core.threads import get_threads
+
+    if batch_chunks < 1:
+        raise ValueError("batch_chunks must be >= 1")
+    if queue_depth < 1:
+        raise ValueError("queue_depth must be >= 1")
+
+    if get_threads() <= 1:
+        try:
+            batch: list[Chunk] = []
+            for chunk in stream_chunks(
+                candidate_fn, config, buffers, carry_limit=carry_limit
+            ):
+                batch.append(chunk)
+                if len(batch) >= batch_chunks:
+                    yield ensure_digests(batch)
+                    batch = []
+            if batch:
+                yield ensure_digests(batch)
+        except Exception as exc:  # KeyboardInterrupt/SystemExit pass through
+            raise PipelineError(f"chunk pipeline stage failed: {exc!r}") from exc
+        return
+
+    handoff = _PipelineHandoff(2, queue_depth)
+
+    def scan_worker() -> None:
+        try:
+            batch: list[Chunk] = []
+            for chunk in stream_chunks(
+                candidate_fn, config, buffers, carry_limit=carry_limit
+            ):
+                batch.append(chunk)
+                if len(batch) >= batch_chunks:
+                    if not handoff.put(0, batch):
+                        return
+                    batch = []
+            if batch:
+                handoff.put(0, batch)
+        except BaseException as exc:
+            handoff.fail(exc)
+        finally:
+            handoff.put(0, _PIPE_END)
+
+    def hash_worker() -> None:
+        try:
+            while True:
+                batch = handoff.get(0)
+                if batch is _PIPE_END:
+                    return
+                ensure_digests(batch)
+                if not handoff.put(1, batch):
+                    return
+        except BaseException as exc:
+            handoff.fail(exc)
+        finally:
+            handoff.put(1, _PIPE_END)
+
+    workers = [
+        threading.Thread(target=scan_worker, name="chunk-scan", daemon=True),
+        threading.Thread(target=hash_worker, name="chunk-hash", daemon=True),
+    ]
+    for t in workers:
+        t.start()
+    try:
+        while True:
+            batch = handoff.get(1)
+            if batch is _PIPE_END:
+                break
+            yield batch
+    finally:
+        # Stop *before* joining: after a stage failure the scan worker
+        # may be blocked inside the caller's buffer iterator (e.g. a
+        # live socket), which nothing can interrupt — the bounded join
+        # keeps the consumer from hanging on it (workers are daemons).
+        handoff.stop.set()
+        for t in workers:
+            t.join(timeout=5.0)
+    if handoff.errors:
+        raise PipelineError(
+            f"chunk pipeline stage failed: {handoff.errors[0]!r}"
+        ) from handoff.errors[0]
+
+
 class Chunker:
     """User-facing content-based chunker.
 
@@ -579,3 +752,27 @@ class Chunker:
         return stream_chunks(
             self.candidate_cuts, self.config, buffers, carry_limit=carry_limit
         )
+
+    def chunk_pipelined(
+        self,
+        buffers: Iterable,
+        carry_limit: int = 1 << 26,
+        batch_chunks: int = DEFAULT_PIPELINE_BATCH,
+        queue_depth: int = 4,
+    ) -> Iterator[Chunk]:
+        """Chunk a stream with scan/hash stage overlap; digests prefilled.
+
+        Same chunks in the same order as :meth:`chunk_stream` + batched
+        ``ensure_digests``, but the marker scan of buffer ``i + 1``
+        overlaps the hashing of buffer ``i`` (and the caller's work
+        overlaps both).  See :func:`pipeline_chunks`.
+        """
+        for batch in pipeline_chunks(
+            self.candidate_cuts,
+            self.config,
+            buffers,
+            carry_limit=carry_limit,
+            batch_chunks=batch_chunks,
+            queue_depth=queue_depth,
+        ):
+            yield from batch

@@ -32,10 +32,13 @@ Two interchangeable implementations:
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.core.rabin import RabinFingerprinter
+from repro.core.threads import get_threads, scan_pool
 
 __all__ = [
     "Engine",
@@ -45,6 +48,7 @@ __all__ = [
     "as_byte_view",
     "as_uint8",
     "engine_tables",
+    "parallel_candidate_cuts",
 ]
 
 
@@ -108,6 +112,7 @@ class _EngineTables:
 #: BackupServer and the CLI build a fresh Chunker (hence engine) per
 #: request; without this cache every request rebuilds ~3 MB of tables.
 _TABLE_CACHE: dict[tuple[int, int], _EngineTables] = {}
+_TABLE_LOCK = threading.Lock()
 
 
 def engine_tables(fingerprinter: RabinFingerprinter) -> _EngineTables:
@@ -117,7 +122,11 @@ def engine_tables(fingerprinter: RabinFingerprinter) -> _EngineTables:
     key = (fingerprinter.polynomial, fingerprinter.window_size)
     tables = _TABLE_CACHE.get(key)
     if tables is None:
-        tables = _TABLE_CACHE[key] = _EngineTables(fingerprinter)
+        # Concurrent scan workers may race to a cold cache; build once.
+        with _TABLE_LOCK:
+            tables = _TABLE_CACHE.get(key)
+            if tables is None:
+                tables = _TABLE_CACHE[key] = _EngineTables(fingerprinter)
     return tables
 
 
@@ -145,9 +154,69 @@ class Engine:
         """
         return np.asarray(self.candidate_cuts(data, mask, marker), dtype=np.int64)
 
+    def serial_cut_array(self, data, mask: int, marker: int) -> np.ndarray:
+        """Single-threaded :meth:`candidate_cut_array`.
+
+        :func:`parallel_candidate_cuts` calls this per region so a
+        threaded engine never re-submits work to the scan pool from
+        inside a pool worker (which could deadlock).
+        """
+        return self.candidate_cut_array(data, mask, marker)
+
     @property
     def window_size(self) -> int:
         return self.fingerprinter.window_size
+
+
+def parallel_candidate_cuts(
+    engine: "Engine", data, mask: int, marker: int, workers: int,
+    min_region: int = 1,
+) -> np.ndarray:
+    """SPMD region-parallel scan: the paper's host-parallel split (§5.1).
+
+    Window *starts* ``[0, m)`` are partitioned into ``workers``
+    contiguous regions of at least ``min_region`` positions; each region
+    scans the byte slice ``data[r0 : r1 + window - 1]`` (the ``w - 1``
+    overlap into the neighbour, so every window straddling a seam is
+    evaluated exactly once) on the shared scan pool, and the per-region
+    cut arrays are merged by concatenation.  Seam dedup is inherent in
+    the partition: a window start belongs to exactly one region, so no
+    cut can be reported twice.  Output is bit-identical to a serial
+    scan — this is the one implementation behind both the paper's
+    pthreads host-chunker model and ``VectorEngine``'s threaded scan.
+
+    ``workers`` fixes the region *split* (the paper's SPMD geometry);
+    execution concurrency follows the process-wide knob: with
+    ``REPRO_THREADS``/:func:`set_threads` at 0/1 the regions run inline
+    on the calling thread (the serial configuration truly spawns no
+    workers anywhere), and any higher setting caps how many regions run
+    at once even when the split is wider — results are identical at any
+    concurrency.
+    """
+    mv = as_byte_view(data)
+    w = engine.window_size
+    n = len(mv)
+    m = n - w + 1
+    if m <= 0:
+        return np.empty(0, dtype=np.int64)
+    region = max(min_region, 1, -(-m // max(1, workers)))
+    if workers <= 1 or region >= m:
+        return engine.serial_cut_array(mv, mask, marker)
+    bounds = [(r0, min(r0 + region, m)) for r0 in range(0, m, region)]
+
+    def scan(b: tuple[int, int]) -> np.ndarray:
+        r0, r1 = b
+        cuts = engine.serial_cut_array(mv[r0 : r1 + w - 1], mask, marker)
+        return cuts.astype(np.int64, copy=False) + r0
+
+    cap = get_threads()
+    if cap <= 1:
+        parts = [scan(b) for b in bounds]
+    else:
+        # Pool width <= cap: a 12-region split under REPRO_THREADS=2
+        # queues 12 tasks but runs at most 2 at a time.
+        parts = list(scan_pool(min(workers, cap)).map(scan, bounds))
+    return np.concatenate(parts)  # regions are disjoint and ordered
 
 
 class SerialEngine(Engine):
@@ -187,6 +256,15 @@ class VectorEngine(Engine):
     tables plus a few lane-wide ALU ops, instead of ``window/2`` gathers
     from the 3 MB pair tables — several times faster and bit-identical.
 
+    On multi-core hosts the striped scan itself fans out: window
+    positions are partitioned into per-worker regions (each at least one
+    tile) that run concurrently on the shared scan pool — NumPy releases
+    the GIL in the gather/ALU inner loops, so region scans genuinely
+    overlap.  ``threads=None`` follows the process-wide setting
+    (:func:`repro.core.threads.get_threads`, i.e. ``REPRO_THREADS``);
+    ``threads=0``/``1`` pins the engine serial.  Output is bit-identical
+    at any thread count.
+
     Requires an even window size (the default, 48, is even).
     """
 
@@ -195,6 +273,7 @@ class VectorEngine(Engine):
         fingerprinter: RabinFingerprinter | None = None,
         lanes: int = DEFAULT_LANES,
         tile_bytes: int = DEFAULT_TILE_BYTES,
+        threads: int | None = None,
     ) -> None:
         self.fingerprinter = fingerprinter or RabinFingerprinter()
         w = self.fingerprinter.window_size
@@ -204,8 +283,11 @@ class VectorEngine(Engine):
             raise ValueError("lanes must be >= 1")
         if tile_bytes < 1:
             raise ValueError("tile_bytes must be >= 1")
+        if threads is not None and threads < 0:
+            raise ValueError("threads must be >= 0 (or None for the default)")
         self.lanes = lanes
         self.tile_bytes = tile_bytes
+        self.threads = threads
         tables = engine_tables(self.fingerprinter)
         self._pair_tables = tables.pair
         self._low_tables = tables.low
@@ -323,8 +405,12 @@ class VectorEngine(Engine):
 
     # -- public scan API ---------------------------------------------------
 
-    def candidate_cut_array(self, data, mask: int, marker: int) -> np.ndarray:
-        """Candidate cuts as an ``int64`` array (exclusive end offsets)."""
+    def effective_threads(self) -> int:
+        """Worker count this engine scans with right now."""
+        return self.threads if self.threads is not None else get_threads()
+
+    def serial_cut_array(self, data, mask: int, marker: int) -> np.ndarray:
+        """Single-threaded scan: striped for large inputs, gather for small."""
         d = as_uint8(data)
         w = self.fingerprinter.window_size
         m = d.size - w + 1
@@ -339,6 +425,26 @@ class VectorEngine(Engine):
             fps = self.fingerprints(d)
             hits = np.nonzero((fps & np.uint64(mask)) == np.uint64(marker))[0]
         return hits.astype(np.int64, copy=False) + w
+
+    def candidate_cut_array(self, data, mask: int, marker: int) -> np.ndarray:
+        """Candidate cuts as an ``int64`` array (exclusive end offsets).
+
+        Fans the striped scan out across the shared worker pool when the
+        effective thread count allows and the input spans more than one
+        tile per worker; otherwise scans serially.  Bit-identical either
+        way.
+        """
+        workers = self.effective_threads()
+        if workers > 1:
+            d = as_uint8(data)
+            m = d.size - self.fingerprinter.window_size + 1
+            # Only fan out when every worker gets at least a full tile;
+            # smaller inputs finish faster without dispatch overhead.
+            if m > max(self.tile_bytes, 2 * self.lanes):
+                return parallel_candidate_cuts(
+                    self, d, mask, marker, workers, min_region=self.tile_bytes
+                )
+        return self.serial_cut_array(data, mask, marker)
 
     def candidate_cuts(self, data, mask: int, marker: int) -> list[int]:
         return self.candidate_cut_array(data, mask, marker).tolist()

@@ -8,17 +8,26 @@ the paper's era (LBFS, Venti); SHA-256 is the default here.
 The batched entry points (:func:`digest_chunks`, :func:`digest_many`)
 hash whole scan batches in one pass over ``memoryview`` slices — no
 per-chunk ``bytes`` copies — and, on multi-core hosts, shard the batch
-across a small thread pool (``hashlib`` releases the GIL for buffers
-larger than 2 KiB, so SHA throughput scales with cores).
+across the shared hash pool (``hashlib`` releases the GIL for buffers
+larger than 2 KiB, so SHA throughput scales with cores).  Worker count
+follows :mod:`repro.core.threads` (the ``REPRO_THREADS`` env var /
+:func:`~repro.core.threads.set_threads`; ``0``/``1`` = serial), and the
+pool is shut down at exit via
+:func:`~repro.core.threads.close_pools`.
 """
 
 from __future__ import annotations
 
 import hashlib
-import os
 import zlib
-from concurrent.futures import ThreadPoolExecutor
 from typing import Iterable, Sequence
+
+from repro.core.threads import (
+    MAX_HASH_WORKERS,
+    close_pools,
+    get_threads,
+    hash_pool,
+)
 
 __all__ = [
     "chunk_hash",
@@ -27,6 +36,7 @@ __all__ = [
     "digest_chunks",
     "digest_many",
     "digest_views",
+    "close_pools",
     "HASH_SIZE",
 ]
 
@@ -61,20 +71,13 @@ def digest_views(views: Iterable) -> bytes:
     return h.digest()
 
 
-_MAX_HASH_WORKERS = min(8, os.cpu_count() or 1)
 #: Below this many bytes the thread-pool dispatch costs more than it saves.
 _PARALLEL_THRESHOLD = 4 << 20
 
-_POOL: ThreadPoolExecutor | None = None
 
-
-def _pool() -> ThreadPoolExecutor:
-    global _POOL
-    if _POOL is None:
-        _POOL = ThreadPoolExecutor(
-            max_workers=_MAX_HASH_WORKERS, thread_name_prefix="chunk-hash"
-        )
-    return _POOL
+def _hash_workers() -> int:
+    """Shards the batch splits into (the shared-pool width, capped)."""
+    return min(MAX_HASH_WORKERS, get_threads())
 
 
 def digest_many(pieces: Sequence, parallel: bool | None = None) -> list[bytes]:
@@ -82,23 +85,27 @@ def digest_many(pieces: Sequence, parallel: bool | None = None) -> list[bytes]:
 
     ``pieces`` may be any buffer-protocol objects (memoryview slices in
     the fast path).  ``parallel=None`` auto-enables the shared thread
-    pool on multi-core hosts for batches worth sharding.
+    pool on multi-core hosts for batches worth sharding; with
+    ``REPRO_THREADS`` at 0/1 the batch always hashes serially.
     """
     n = len(pieces)
+    workers = _hash_workers()
     if parallel is None:
         parallel = (
-            _MAX_HASH_WORKERS > 1
-            and n >= 2 * _MAX_HASH_WORKERS
+            workers > 1
+            and n >= 2 * workers
             and sum(len(p) for p in pieces) >= _PARALLEL_THRESHOLD
         )
+    elif parallel and workers < 2:
+        parallel = False  # explicitly serial configuration wins
     if not parallel or n < 2:
         return [hashlib.sha256(p).digest() for p in pieces]
-    shard = -(-n // _MAX_HASH_WORKERS)
+    shard = -(-n // workers)
 
     def run(lo: int) -> list[bytes]:
         return [hashlib.sha256(p).digest() for p in pieces[lo : lo + shard]]
 
-    parts = _pool().map(run, range(0, n, shard))
+    parts = hash_pool(workers).map(run, range(0, n, shard))
     return [d for part in parts for d in part]
 
 

@@ -20,7 +20,6 @@ Two parts:
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 from repro.core.chunking import (
@@ -30,7 +29,12 @@ from repro.core.chunking import (
     chunks_from_cuts,
     select_cuts_fast,
 )
-from repro.core.engines import Engine, as_byte_view, default_engine
+from repro.core.engines import (
+    Engine,
+    as_byte_view,
+    default_engine,
+    parallel_candidate_cuts,
+)
 from repro.gpu.specs import HostSpec, XEON_X5650_HOST
 
 __all__ = ["AllocatorModel", "MALLOC", "HOARD", "HostParallelChunker"]
@@ -89,36 +93,19 @@ class HostParallelChunker:
 
     # -- real parallel algorithm --------------------------------------------
 
-    def _region_cuts(self, data: memoryview, start: int, end: int) -> list[int]:
-        """Candidate cuts ``c`` with ``start < c <= end``.
-
-        Scans ``data[max(0, start - w + 1) : end]`` so that every window
-        ending inside ``(start, end]`` is evaluated exactly once; this is
-        the w-byte overlap near partition boundaries described in §2.1.
-        ``data`` is a memoryview, so region slices are zero-copy.
-        """
-        w = self.config.window_size
-        lo = max(0, start - w + 1)
-        slice_ = data[lo:end]
-        cuts = self.engine.candidate_cuts(slice_, self.config.mask, self.config.marker)
-        return [lo + c for c in cuts if start < lo + c <= end]
-
     def candidate_cuts(self, data) -> list[int]:
-        """Marker positions found by the SPMD scan (merged, sorted)."""
-        mv = as_byte_view(data)
-        n = len(mv)
-        if n == 0:
-            return []
-        region = max(1, (n + self.threads - 1) // self.threads)
-        bounds = [(i, min(i + region, n)) for i in range(0, n, region)]
-        if len(bounds) == 1:
-            return self._region_cuts(mv, 0, n)
-        with ThreadPoolExecutor(max_workers=self.threads) as pool:
-            parts = list(pool.map(lambda b: self._region_cuts(mv, *b), bounds))
-        merged: list[int] = []
-        for part in parts:  # regions are disjoint and ordered
-            merged.extend(part)
-        return merged
+        """Marker positions found by the SPMD scan (merged, sorted).
+
+        The region split with ``window - 1`` overlap and seam-exact
+        merge lives in :func:`repro.core.engines.parallel_candidate_cuts`
+        — the same implementation ``VectorEngine``'s threaded scan uses,
+        so the paper's host-parallel model and the real engine cannot
+        drift apart.  Regions run on the shared scan pool (one pool per
+        process, not one per call).
+        """
+        return parallel_candidate_cuts(
+            self.engine, data, self.config.mask, self.config.marker, self.threads
+        ).tolist()
 
     def cuts(self, data) -> list[int]:
         """Selected cut offsets after min/max rules (synchronized merge)."""

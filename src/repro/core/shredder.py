@@ -31,7 +31,14 @@ from dataclasses import dataclass, field, replace
 from typing import Iterable, Iterator
 
 from repro.core.buffers import PinnedRingBuffer
-from repro.core.chunking import Chunk, Chunker, ChunkerConfig, stream_chunks
+from repro.core.chunking import (
+    DEFAULT_PIPELINE_BATCH,
+    Chunk,
+    Chunker,
+    ChunkerConfig,
+    pipeline_chunks,
+    stream_chunks,
+)
 from repro.core.engines import as_byte_view
 from repro.core.host_chunker import HOARD, MALLOC, HostParallelChunker
 # Imported as a module (not names) to stay robust against the circular
@@ -316,6 +323,34 @@ class Shredder:
     def chunk(self, data: bytes | Iterable[bytes]) -> list[Chunk]:
         """Chunks only (convenience)."""
         return self.process(data)[0]
+
+    def pipeline_batches(
+        self,
+        data: bytes | Iterable[bytes],
+        batch_chunks: int = DEFAULT_PIPELINE_BATCH,
+        queue_depth: int = 4,
+    ) -> Iterator[list[Chunk]]:
+        """Stage-overlapped chunk+hash batches, in stream order.
+
+        Yields digested chunk batches while the scan of later buffers is
+        still running (see :func:`repro.core.chunking.pipeline_chunks`);
+        concatenated, the batches equal :meth:`chunk` output exactly.
+        Both backends route through the same boundary logic as
+        :meth:`process`, so chunks are bit-identical to the unpipelined
+        path.
+        """
+        candidate_fn = (
+            self._chunker.candidate_cuts
+            if self.config.backend == "gpu"
+            else self.host_chunker.candidate_cuts
+        )
+        return pipeline_chunks(
+            candidate_fn,
+            self.config.chunker,
+            self._buffers(data),
+            batch_chunks=batch_chunks,
+            queue_depth=queue_depth,
+        )
 
     # ------------------------------------------------------------------
 

@@ -1,0 +1,163 @@
+"""Process-wide worker-thread configuration and shared pools.
+
+One knob controls every CPU-parallel stage of the data path — the
+threaded tile scan (:mod:`repro.core.engines`), the sharded hash pass
+(:mod:`repro.core.hashing`), and the SPMD host chunker's region fan-out:
+
+* ``REPRO_THREADS`` environment variable — the session default.
+  ``0`` or ``1`` means *serial* (no worker threads anywhere); unset
+  falls back to the host CPU count.
+* :func:`set_threads` — a runtime override (the CLI's ``--threads``
+  flag lands here), taking precedence over the environment.
+
+The two executors are shared across the process so repeated scans reuse
+warm threads instead of paying pool construction per call, and both are
+torn down by :func:`close_pools` (registered ``atexit``, fixing the
+leak where the module-level hash pool was never shut down).  Scan and
+hash pools are distinct on purpose: scan-region tasks block waiting on
+nothing, but the pipelined backup path hashes one buffer while scanning
+the next, and a single shared pool could deadlock if scan tasks ever
+fanned out hashing work of their own.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+__all__ = [
+    "get_threads",
+    "set_threads",
+    "scan_pool",
+    "hash_pool",
+    "close_pools",
+]
+
+#: Hash sharding stops scaling past a handful of cores (memory-bound
+#: SHA), so the hash pool is capped independently of the scan pool.
+MAX_HASH_WORKERS = 8
+
+_lock = threading.Lock()
+_override: int | None = None
+_scan_pool: ThreadPoolExecutor | None = None
+_hash_pool: ThreadPoolExecutor | None = None
+_pool_width: dict[str, int] = {}
+#: Pools replaced by a wider one (or by set_threads) are *retired*, not
+#: immediately shut down: a concurrent scan may hold a reference and be
+#: about to submit, and shutdown(wait=False) would make that submit
+#: raise.  Retired executors are joined on the next set_threads call,
+#: in close_pools, and at exit, so the list stays small even under
+#: repeated reconfiguration.
+_retired: list[ThreadPoolExecutor] = []
+
+
+def _env_threads() -> int | None:
+    raw = os.environ.get("REPRO_THREADS")
+    if raw is None or not raw.strip():
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_THREADS must be an integer, got {raw!r}"
+        ) from None
+    if value < 0:
+        raise ValueError(f"REPRO_THREADS must be >= 0, got {value}")
+    return value
+
+
+def get_threads() -> int:
+    """Effective worker count: override > ``REPRO_THREADS`` > CPU count.
+
+    ``0`` and ``1`` both mean serial; callers treat any value ``<= 1``
+    as "do not use worker threads".
+    """
+    if _override is not None:
+        return _override
+    env = _env_threads()
+    if env is not None:
+        return env
+    return os.cpu_count() or 1
+
+
+def set_threads(n: int | None) -> None:
+    """Override the worker count for this process (``None`` clears it).
+
+    Existing pools are retired (drained, joined at exit) so the next
+    parallel call rebuilds them at the new width; in-flight scans keep
+    their executor and finish safely.
+    """
+    global _override, _scan_pool, _hash_pool
+    if n is not None and n < 0:
+        raise ValueError(f"thread count must be >= 0, got {n}")
+    with _lock:
+        _override = n
+        # Pools retired by *earlier* calls can be joined now: any racer
+        # that held one of them submitted long ago (the fetch-to-submit
+        # window is a single call frame).  This bounds retirement churn
+        # in long-running processes that toggle set_threads repeatedly.
+        drain = list(_retired)
+        _retired.clear()
+        _retired.extend(p for p in (_scan_pool, _hash_pool) if p is not None)
+        _scan_pool = None
+        _hash_pool = None
+        _pool_width.clear()
+    for pool in drain:
+        pool.shutdown(wait=True)
+
+
+def _get_pool(which: str, workers: int) -> ThreadPoolExecutor:
+    global _scan_pool, _hash_pool
+    with _lock:
+        pool = _scan_pool if which == "scan" else _hash_pool
+        # Grow-only: a pool wide enough for the largest request serves
+        # narrower ones too (idle workers are spawned lazily and cost
+        # almost nothing).
+        if pool is None or _pool_width.get(which, 0) < workers:
+            if pool is not None:
+                _retired.append(pool)  # never shut down under a racer
+            pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix=f"repro-{which}"
+            )
+            _pool_width[which] = workers
+            if which == "scan":
+                _scan_pool = pool
+            else:
+                _hash_pool = pool
+        return pool
+
+
+def scan_pool(workers: int | None = None) -> ThreadPoolExecutor:
+    """Shared executor for scan-region tasks (at least ``workers`` wide)."""
+    return _get_pool("scan", max(2, workers or get_threads()))
+
+
+def hash_pool(workers: int | None = None) -> ThreadPoolExecutor:
+    """Shared executor for hash shards (capped at ``MAX_HASH_WORKERS``)."""
+    requested = workers if workers is not None else min(
+        MAX_HASH_WORKERS, get_threads()
+    )
+    return _get_pool("hash", max(2, requested))
+
+
+def close_pools() -> None:
+    """Shut down the shared pools, retired ones included (idempotent).
+
+    Call at quiescent points (process exit does it automatically); the
+    pools are re-created on next use.
+    """
+    global _scan_pool, _hash_pool
+    with _lock:
+        pools = [p for p in (_scan_pool, _hash_pool) if p is not None]
+        pools.extend(_retired)
+        _retired.clear()
+        _scan_pool = None
+        _hash_pool = None
+        _pool_width.clear()
+    for pool in pools:
+        pool.shutdown(wait=True)
+
+
+atexit.register(close_pools)

@@ -13,9 +13,14 @@ Two pipelines per configuration:
     per chunk, one index probe per digest.
 
 ``fast``
-    The zero-copy path: striped rolling vector scan (cache-resident roll
-    tables), vectorized ``select_cuts_fast``, lazy view chunks with one
-    batched hashing pass, batched index/cluster lookups.
+    The zero-copy path: striped vector scan running the fused
+    multi-step roll kernel on the self-tuned per-host geometry
+    (``repro.core.autotune``), vectorized ``select_cuts_fast``, lazy
+    view chunks with one batched hashing pass, batched index/cluster
+    lookups.  Rows carry the scan's kernel-dispatch counters
+    (dispatches/MiB, bytes/dispatch, geometry) so dispatch reduction is
+    visible in the committed trajectory, and the result records the
+    ``tuned_geometry`` used.
 
 Acceptance (enforced in full mode): the fast path is >= 3x the reference
 on a 64 MiB input (VectorEngine, batched lookups) and its chunks and
@@ -49,17 +54,25 @@ from repro.core import (
     ChunkerConfig,
     DedupIndex,
     SerialEngine,
+    VectorEngine,
     default_engine,
     ensure_digests,
     get_threads,
+    reset_scan_counters,
+    scan_counters,
     select_cuts,
     set_threads,
 )
+from repro.core.autotune import autotune_enabled, describe, get_geometry
 from repro.store.cluster import ChunkStoreCluster
 from repro.workloads import seeded_bytes
 
 MB = 1 << 20
 TARGET_SPEEDUP = 3.0
+#: Fused-kernel dispatch acceptance: at roll_steps=8 the scan must issue
+#: at least this factor fewer kernel dispatches per MiB than the 1-step
+#: reference on the same geometry (ISSUE 4 bar: >= 4x at S=8).
+TARGET_DISPATCH_REDUCTION = 4.0
 #: Thread-sweep acceptance: 4 scan/hash workers must beat 1 by this
 #: factor on the fast path — only asserted on hosts with >= 4 CPUs
 #: (thread scaling cannot be demonstrated on a 1-2 core runner; the
@@ -180,21 +193,31 @@ def run_sweep(quick: bool) -> dict:
     rows: list[dict] = []
     speedups: dict[str, float] = {}
 
-    def record(size, eng, backend, path, seconds, n_chunks, threads=1):
-        rows.append(
-            {
-                "size_bytes": size,
-                "engine": eng,
-                "backend": backend,
-                "path": path,
-                "threads": threads,
-                "seconds": round(seconds, 6),
-                "mib_per_s": round(size / MB / seconds, 3),
-                "n_chunks": n_chunks,
-            }
-        )
+    def record(size, eng, backend, path, seconds, n_chunks, threads=1, runs=1):
+        row = {
+            "size_bytes": size,
+            "engine": eng,
+            "backend": backend,
+            "path": path,
+            "threads": threads,
+            "seconds": round(seconds, 6),
+            "mib_per_s": round(size / MB / seconds, 3),
+            "n_chunks": n_chunks,
+        }
+        # Scan instrumentation accumulated since the last reset: kernel
+        # dispatches per MiB and payload bytes per dispatch make the
+        # fused kernel's dispatch reduction visible in BENCH_e2e.json.
+        counters = scan_counters()
+        if counters.dispatches and runs:
+            row["scan_dispatches"] = counters.dispatches // runs
+            row["dispatches_per_mib"] = round(counters.dispatches_per_mib, 2)
+            row["bytes_per_dispatch"] = round(counters.bytes_per_dispatch)
+            row["scan_geometry"] = counters.geometry
+        rows.append(row)
+        reset_scan_counters()
 
     acceptance: dict = {"target_speedup": TARGET_SPEEDUP}
+    reset_scan_counters()
     for size in vector_sizes:
         data = seeded_bytes(size, seed=size & 0xFFFF)
         repeats = 3 if size <= 4 * MB else 1
@@ -203,7 +226,7 @@ def run_sweep(quick: bool) -> dict:
                 fast_pipeline, data, chunker, backend, repeats=repeats
             )
             record(size, "vector", backend, "fast", fast_s, len(fast_chunks),
-                   threads=get_threads())
+                   threads=get_threads(), runs=repeats)
             if backend == "single":
                 ref_s, (ref_chunks, _) = timed(
                     reference_pipeline, data, CONFIG, engine, repeats=repeats
@@ -245,7 +268,19 @@ def run_sweep(quick: bool) -> dict:
         else os.cpu_count()
     ) or 1
     sweep_size = 16 * MB
-    thread_counts = sorted({1, 2, 4, cpus})
+    # On a 1-CPU host a multi-thread sweep can only produce a flat (or
+    # noise-inverted) curve: record *why* there is no scaling data
+    # instead of committing a silently flat curve that reads like a
+    # regression.
+    if cpus < 2:
+        thread_counts = [1]
+        sweep_skip_reason = (
+            f"host exposes {cpus} CPU(s); thread scaling is not "
+            "demonstrable, sweep limited to the 1-thread row"
+        )
+    else:
+        thread_counts = sorted({1, 2, 4, cpus})
+        sweep_skip_reason = None
     data = seeded_bytes(sweep_size, seed=sweep_size & 0xFFFF)
     sweep_mibs: dict[int, float] = {}
     reference_shape = None
@@ -263,7 +298,7 @@ def run_sweep(quick: bool) -> dict:
                     f"threaded scan at {t} threads diverged from 1 thread"
                 )
             record(sweep_size, "vector", "single", "fast", seconds,
-                   len(sweep_chunks), threads=t)
+                   len(sweep_chunks), threads=t, runs=2)
             sweep_mibs[t] = round(sweep_size / MB / seconds, 3)
     finally:
         set_threads(None)
@@ -272,6 +307,8 @@ def run_sweep(quick: bool) -> dict:
         "cpus": cpus,
         "mib_per_s": {str(t): v for t, v in sweep_mibs.items()},
     }
+    if sweep_skip_reason is not None:
+        thread_sweep["skip_reason"] = sweep_skip_reason
     if 4 in sweep_mibs:
         thread_sweep["speedup_4_vs_1"] = round(sweep_mibs[4] / sweep_mibs[1], 3)
         acceptance["thread_speedup_4v1"] = thread_sweep["speedup_4_vs_1"]
@@ -283,6 +320,33 @@ def run_sweep(quick: bool) -> dict:
                 f"the 1-thread rate (target >= {TARGET_THREAD_SPEEDUP}x on a "
                 f"{cpus}-CPU host)"
             )
+
+    # -- fused-kernel dispatch reduction --------------------------------
+    # Same geometry, roll_steps 1 vs 8: the fused kernel must amortize
+    # per-launch cost by >= TARGET_DISPATCH_REDUCTION (asserted in full
+    # mode; recorded always).
+    geometry = get_geometry()
+    dispatch_data = seeded_bytes(4 * MB, seed=0x5EED)
+    per_mib: dict[int, float] = {}
+    for steps in (1, 8):
+        probe = VectorEngine(
+            lanes=geometry.lanes, tile_bytes=geometry.tile_bytes,
+            threads=1, roll_steps=steps,
+        )
+        reset_scan_counters()
+        probe.candidate_cut_array(dispatch_data, CONFIG.mask, CONFIG.marker)
+        per_mib[steps] = scan_counters().dispatches_per_mib
+    reset_scan_counters()
+    acceptance["dispatches_per_mib_s1"] = round(per_mib[1], 2)
+    acceptance["dispatches_per_mib_s8"] = round(per_mib[8], 2)
+    dispatch_reduction = per_mib[1] / per_mib[8] if per_mib[8] else 0.0
+    acceptance["dispatch_reduction_s8"] = round(dispatch_reduction, 2)
+    if not quick and dispatch_reduction < TARGET_DISPATCH_REDUCTION:
+        raise AssertionError(
+            f"fused kernel at S=8 only cut dispatches/MiB by "
+            f"{dispatch_reduction:.2f}x (target >= "
+            f"{TARGET_DISPATCH_REDUCTION}x)"
+        )
 
     if acceptance_size is not None:
         # Bit-identical to the pure-Python reference engine on the full
@@ -320,6 +384,13 @@ def run_sweep(quick: bool) -> dict:
                 if hasattr(os, "sched_getaffinity")
                 else os.cpu_count()
             ),
+        },
+        # The self-tuned scan geometry this run used (satellite of the
+        # fused-kernel issue): future readers can attribute throughput
+        # moves to geometry changes instead of guessing.
+        "tuned_geometry": {
+            **describe(geometry),
+            "autotune_enabled": autotune_enabled(),
         },
         "rows": rows,
         "speedups": speedups,
@@ -428,6 +499,22 @@ def main(argv=None) -> int:
         print("\nfast-path speedup vs pre-optimization reference:")
         for key, speedup in result["speedups"].items():
             print(f"  {key:24s} {speedup:5.2f}x")
+    geometry = result.get("tuned_geometry", {})
+    if geometry:
+        print(
+            f"\ntuned geometry [{geometry.get('source')}]: "
+            f"lanes={geometry.get('lanes')} "
+            f"tile={geometry.get('tile_bytes', 0) // MB} MiB "
+            f"roll_steps={geometry.get('roll_steps')} "
+            f"threads={geometry.get('threads')}"
+        )
+    acc = result["acceptance"]
+    if "dispatch_reduction_s8" in acc:
+        print(
+            f"fused kernel dispatches/MiB: {acc['dispatches_per_mib_s1']:.0f} "
+            f"at S=1 -> {acc['dispatches_per_mib_s8']:.0f} at S=8 "
+            f"({acc['dispatch_reduction_s8']:.1f}x reduction)"
+        )
     sweep = result.get("thread_sweep", {})
     if sweep.get("mib_per_s"):
         label = f"{sweep['size_bytes'] // MB} MiB"
@@ -436,6 +523,8 @@ def main(argv=None) -> int:
             print(f"  {t:>3s} thread(s)  {mibs:8.1f} MiB/s")
         if "speedup_4_vs_1" in sweep:
             print(f"  4-thread vs 1-thread: {sweep['speedup_4_vs_1']:.2f}x")
+        if "skip_reason" in sweep:
+            print(f"  ({sweep['skip_reason']})")
     if "speedup_64mib" in result["acceptance"]:
         print(f"\nacceptance: {result['acceptance']['speedup_64mib']:.2f}x on 64 MiB "
               f"(target >= {TARGET_SPEEDUP}x), serial-identical: "

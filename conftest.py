@@ -1,0 +1,30 @@
+"""Root pytest config: hermetic autotune cache for the whole suite."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_autotune_cache(tmp_path_factory):
+    """Keep the suite from writing the developer's real geometry cache.
+
+    Defaulted engines may trigger a first-use autotune (a sub-two-second
+    micro-benchmark); pointing the cache at a session temp file makes
+    that write hermetic for every collected directory (tests/ and
+    benchmarks/ alike).  Explicit settings win: CI pins
+    ``REPRO_AUTOTUNE=0`` (static geometry), and a user-provided
+    ``REPRO_AUTOTUNE_CACHE`` is respected.  Per-test isolation beyond
+    this lives in tests/test_autotune.py's fixture.
+    """
+    if "REPRO_AUTOTUNE" in os.environ or "REPRO_AUTOTUNE_CACHE" in os.environ:
+        yield
+        return
+    path = tmp_path_factory.mktemp("autotune") / "autotune.json"
+    os.environ["REPRO_AUTOTUNE_CACHE"] = str(path)
+    try:
+        yield
+    finally:
+        os.environ.pop("REPRO_AUTOTUNE_CACHE", None)

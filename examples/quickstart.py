@@ -3,11 +3,13 @@
 
 Chunks a stream with the fully optimized GPU configuration, verifies the
 chunks reassemble exactly, deduplicates a second, slightly-edited copy,
-shows the zero-copy streaming API, the threaded engine + stage-overlapped
-pipeline, and prints the modeled throughput for each backend
-configuration (the Figure 12 bars).
+shows the zero-copy streaming API, the self-tuned scan geometry, the
+threaded engine + stage-overlapped pipeline, and prints the modeled
+throughput for each backend configuration (the Figure 12 bars).
 
 Run:  python examples/quickstart.py          # REPRO_THREADS=N to pin workers
+                                             # REPRO_AUTOTUNE=0 for static
+                                             # scan geometry
 """
 
 from repro.backup import BackupConfig, BackupServer
@@ -64,6 +66,21 @@ def main() -> None:
     dup = sum(1 for c in streamed if c.digest in known)
     print(f"\nzero-copy stream: {len(streamed)} chunks from {len(buffers)} "
           f"buffer views, {dup} digests matched without copying a payload")
+
+    # -- self-tuned scan geometry --------------------------------------------
+    # The striped scan's tile size, lane count, fused roll-step factor,
+    # and thread default are *measured* for this host, not assumed: the
+    # first defaulted engine triggers a sub-two-second micro-benchmark
+    # whose winner persists to ~/.cache/repro/autotune.json (override
+    # with REPRO_AUTOTUNE_CACHE; disable with REPRO_AUTOTUNE=0).  Run
+    # `python -m repro tune` for the full grid, `--show` to inspect,
+    # `--force` to re-measure after a hardware/NumPy change.
+    from repro.core import get_geometry
+
+    geometry = get_geometry()
+    print(f"\nscan geometry [{geometry.source}]: lanes={geometry.lanes}, "
+          f"tile={geometry.tile_bytes >> 20} MiB, "
+          f"fused roll_steps={geometry.roll_steps}")
 
     # -- threaded scan + stage-overlapped pipeline ---------------------------
     # One knob (REPRO_THREADS / set_threads / CLI --threads) drives the

@@ -98,8 +98,10 @@ class BackupConfig:
     #: pipeline (stage overlap on real threads); ``False`` runs the
     #: stage-at-a-time path, kept bit-identical for differential tests.
     pipelined: bool = True
-    #: Chunks per pipeline batch handed to the lookup/ship stage.
-    pipeline_batch_chunks: int = 256
+    #: Chunks per pipeline batch handed to the lookup/ship stage;
+    #: ``None`` follows the autotuned scan-tile geometry (one hashing
+    #: pass per scan tile).
+    pipeline_batch_chunks: int | None = None
 
     def __post_init__(self) -> None:
         if self.backend not in ("gpu", "cpu"):
@@ -110,7 +112,7 @@ class BackupConfig:
             raise ValueError("cluster_nodes must be >= 1")
         if self.lookup_batch_size < 1:
             raise ValueError("lookup_batch_size must be >= 1")
-        if self.pipeline_batch_chunks < 1:
+        if self.pipeline_batch_chunks is not None and self.pipeline_batch_chunks < 1:
             raise ValueError("pipeline_batch_chunks must be >= 1")
 
 

@@ -3,12 +3,16 @@
 Commands
 --------
 ``chunk FILE``      content-based chunking of a file; prints chunk table
+                    (``--profile`` adds the scan/hash/lookup stage split
+                    and fused-kernel dispatch counters)
 ``dedup A B``       cross-file dedup statistics (how similar are A and B?)
 ``throughput``      the Figure 12 configuration comparison (modeled)
 ``table1``          the simulated GPU's Table 1 characteristics
 ``backup FILE``     one-shot dedup backup of FILE against itself + stats
 ``cluster FILE``    dedup backup through the sharded chunk-store cluster,
                     with optional node-failure + repair drill
+``tune``            measure + persist the striped-scan geometry for this
+                    host (tile size, lanes, fused roll steps, threads)
 """
 
 from __future__ import annotations
@@ -59,13 +63,67 @@ def _apply_threads(args) -> None:
             raise SystemExit(f"invalid --threads: {exc}")
 
 
+def _profiled_chunk(chunker, view) -> list:
+    """Chunk ``view`` through the stage-overlapped pipeline, metered.
+
+    Slices the buffer into scan-tile-sized pieces and runs the real
+    scan ∥ hash pipeline plus a batched dedup probe, so the stage
+    timers (scan / hash / lookup) and fused-kernel dispatch counters
+    reflect the production data path.  Chunks are identical to the
+    whole-buffer path (stream chunking is boundary-exact).
+    """
+    from repro.core import DedupIndex, get_geometry
+    from repro.core import reset_scan_counters, reset_stage_times
+
+    reset_scan_counters()
+    reset_stage_times()
+    piece = max(get_geometry().tile_bytes, 1 << 20)
+    buffers = [view[off : off + piece] for off in range(0, len(view), piece)]
+    chunks = list(chunker.chunk_pipelined(buffers))
+    DedupIndex().lookup_or_insert_batch(chunks)
+    return chunks
+
+
+def _print_profile(n_bytes: int, seconds: float) -> None:
+    from repro.core import scan_counters, stage_times
+
+    mib = n_bytes / (1 << 20)
+    table = ResultTable(
+        "Pipeline stage split",
+        ["Stage", "Seconds", "% of wall", "MiB/s"],
+        )
+    for name in ("scan", "hash", "lookup"):
+        spent = stage_times().get(name, 0.0)
+        table.add(
+            name, f"{spent:.3f}",
+            f"{100 * spent / seconds:.0f}%" if seconds else "-",
+            f"{mib / spent:.1f}" if spent else "-",
+        )
+    print(format_table(table))
+    c = scan_counters()
+    if c.dispatches:
+        g = c.geometry
+        print(
+            f"scan kernel: {c.dispatches} dispatches over {c.tiles} tiles "
+            f"({c.bytes_per_dispatch / 1024:.0f} KiB/dispatch, "
+            f"{c.dispatches_per_mib:.1f} dispatches/MiB)"
+        )
+        print(
+            f"scan geometry: lanes={g.get('lanes')} "
+            f"tile={g.get('tile_bytes', 0) >> 20} MiB "
+            f"roll_steps={g.get('roll_steps')}"
+        )
+
+
 def cmd_chunk(args) -> int:
     import mmap
+    import time
 
     from repro.core import Chunker, size_stats
 
     _apply_threads(args)
     chunker = Chunker(_chunker_config(args))
+    profile_seconds = 0.0
     # Zero-copy path: chunk the file through an mmap'd memoryview — the
     # scan, boundary selection, and batched hashing all run against the
     # page cache without ever copying the payload into Python bytes.
@@ -76,12 +134,22 @@ def cmd_chunk(args) -> int:
             mapped = None
         if mapped is None:
             data = _read(args.file)
-            chunks = chunker.chunk(data)
+            if args.profile:
+                t0 = time.perf_counter()
+                chunks = _profiled_chunk(chunker, memoryview(data))
+                profile_seconds = time.perf_counter() - t0
+            else:
+                chunks = chunker.chunk(data)
         else:
             view = memoryview(mapped)
             chunks = []
             try:
-                chunks = chunker.chunk(view)  # digests computed batched
+                if args.profile:
+                    t0 = time.perf_counter()
+                    chunks = _profiled_chunk(chunker, view)
+                    profile_seconds = time.perf_counter() - t0
+                else:
+                    chunks = chunker.chunk(view)  # digests computed batched
             finally:
                 for c in chunks:
                     c.release()  # digests recorded; let the mmap go
@@ -108,6 +176,8 @@ def cmd_chunk(args) -> int:
         f"{stats.count} chunks, mean {stats.mean:.0f} B "
         f"(min {stats.minimum}, max {stats.maximum})"
     )
+    if args.profile:
+        _print_profile(stats.total, profile_seconds)
     return 0
 
 
@@ -237,6 +307,51 @@ def cmd_cluster(args) -> int:
     return 0
 
 
+def cmd_tune(args) -> int:
+    from repro.core import autotune
+
+    if args.show:
+        # Read-only: report the cached entry (or the static fallback)
+        # without triggering a first-use tune or any file writes.
+        if not autotune.autotune_enabled():
+            geometry = autotune.DEFAULT_GEOMETRY
+            print("autotune disabled (REPRO_AUTOTUNE=0); static defaults:")
+        else:
+            geometry = autotune.load_cached()
+            if geometry is None:
+                geometry = autotune.DEFAULT_GEOMETRY
+                print(f"no cached geometry for {autotune.host_key()} — "
+                      "static defaults shown; run `repro tune` to measure:")
+            else:
+                print(f"cached geometry for {autotune.host_key()}:")
+    else:
+        if not autotune.autotune_enabled():
+            raise SystemExit(
+                "autotune is disabled (REPRO_AUTOTUNE=0); unset it to tune"
+            )
+        cached = None if args.force else autotune.load_cached()
+        if cached is not None:
+            geometry = cached
+            print(f"cached geometry for {autotune.host_key()} "
+                  "(use --force to re-measure):")
+        else:
+            mode = "quick" if args.quick else "full"
+            print(f"measuring scan geometry ({mode} grid) ...")
+            geometry = autotune.tune(quick=args.quick, persist=True, log=print)
+            autotune.set_geometry(geometry)
+            print(f"\nwrote {autotune.cache_path()}")
+            print(f"tuned geometry for {autotune.host_key()}:")
+    table = ResultTable("Striped-scan geometry", ["Knob", "Value"])
+    table.add("lanes", geometry.lanes)
+    table.add("tile_bytes", f"{geometry.tile_bytes} ({geometry.tile_bytes >> 20} MiB)")
+    table.add("roll_steps", geometry.roll_steps)
+    table.add("threads", "auto" if geometry.threads is None else geometry.threads)
+    if geometry.mib_per_s is not None:
+        table.add("measured MiB/s", f"{geometry.mib_per_s:.1f}")
+    print(format_table(table))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -259,6 +374,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_chunk = sub.add_parser("chunk", help="content-based chunking of a file")
     p_chunk.add_argument("file")
     p_chunk.add_argument("--all", action="store_true", help="print every chunk")
+    p_chunk.add_argument("--profile", action="store_true",
+                         help="run the scan∥hash pipeline + a dedup probe "
+                         "and print the per-stage time split and scan "
+                         "dispatch counters")
     add_chunker_args(p_chunk)
     add_threads_arg(p_chunk)
     p_chunk.set_defaults(fn=cmd_chunk)
@@ -299,6 +418,18 @@ def build_parser() -> argparse.ArgumentParser:
                            help="kill the fullest node, repair, then restore")
     add_threads_arg(p_cluster)
     p_cluster.set_defaults(fn=cmd_cluster)
+
+    p_tune = sub.add_parser(
+        "tune", help="measure + persist the striped-scan geometry for this host"
+    )
+    p_tune.add_argument("--quick", action="store_true",
+                        help="small grid / small buffer (CI smoke; "
+                        "well under two seconds)")
+    p_tune.add_argument("--force", action="store_true",
+                        help="re-measure even when a cached answer exists")
+    p_tune.add_argument("--show", action="store_true",
+                        help="print the effective geometry without tuning")
+    p_tune.set_defaults(fn=cmd_tune)
 
     return parser
 

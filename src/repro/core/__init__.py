@@ -12,6 +12,7 @@ from repro.core.chunking import (
     select_cuts,
     select_cuts_fast,
 )
+from repro.core.autotune import ScanGeometry, get_geometry
 from repro.core.dedup import DedupIndex, DedupStats
 from repro.core.engines import (
     Engine,
@@ -23,14 +24,30 @@ from repro.core.engines import (
     parallel_candidate_cuts,
 )
 from repro.core.hashing import chunk_hash, digest_chunks, digest_many, short_hash, weak_checksum
-from repro.core.threads import close_pools, get_threads, set_threads
+from repro.core.threads import (
+    available_cpus,
+    close_pools,
+    get_threads,
+    set_default_threads,
+    set_threads,
+)
 from repro.core.host_chunker import HOARD, MALLOC, AllocatorModel, HostParallelChunker
 from repro.core.executor import BoundaryStitcher, ExecutionTotals, ShredderExecutor
 from repro.core.parallel_minmax import compute_jumps, parallel_select_cuts
 from repro.core.pipeline import PipelineError, Stage, StreamingPipeline
 from repro.core.rabin import DEFAULT_WINDOW_SIZE, RabinFingerprinter, default_polynomial
 from repro.core.shredder import Shredder, ShredderConfig, ShredderReport
-from repro.core.stats import SizeStats, dedup_ratio, size_stats, unique_bytes
+from repro.core.stats import (
+    ScanCounters,
+    SizeStats,
+    dedup_ratio,
+    reset_scan_counters,
+    reset_stage_times,
+    scan_counters,
+    size_stats,
+    stage_times,
+    unique_bytes,
+)
 
 __all__ = [
     "FixedSizeChunker", "SampleByteChunker",
@@ -40,13 +57,17 @@ __all__ = [
     "Chunk", "Chunker", "ChunkerConfig", "chunk_sizes", "ensure_digests",
     "pipeline_chunks", "select_cuts", "select_cuts_fast",
     "DedupIndex", "DedupStats",
+    "ScanGeometry", "get_geometry",
     "Engine", "SerialEngine", "VectorEngine", "as_byte_view", "as_uint8",
     "default_engine", "parallel_candidate_cuts",
     "chunk_hash", "digest_chunks", "digest_many", "short_hash", "weak_checksum",
-    "close_pools", "get_threads", "set_threads",
+    "available_cpus", "close_pools", "get_threads", "set_default_threads",
+    "set_threads",
     "HOARD", "MALLOC", "AllocatorModel", "HostParallelChunker",
     "PipelineError", "Stage", "StreamingPipeline",
     "DEFAULT_WINDOW_SIZE", "RabinFingerprinter", "default_polynomial",
     "Shredder", "ShredderConfig", "ShredderReport",
-    "SizeStats", "dedup_ratio", "size_stats", "unique_bytes",
+    "ScanCounters", "SizeStats", "dedup_ratio", "reset_scan_counters",
+    "reset_stage_times", "scan_counters", "size_stats", "stage_times",
+    "unique_bytes",
 ]

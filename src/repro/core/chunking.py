@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from bisect import bisect_left
 from collections import deque
 from dataclasses import dataclass, replace
@@ -501,10 +502,27 @@ def stream_chunks(
         yield Chunk(prev, end - prev, views=take(end))
 
 
-#: Default chunks per pipeline batch: at the 8 KiB expected chunk size
+#: Fallback chunks per pipeline batch: at the 8 KiB expected chunk size
 #: this is ~2 MiB of payload per hashing pass — big enough to amortize
 #: dispatch, small enough that three in-flight batches stay cache-warm.
+#: When ``batch_chunks`` is left ``None`` the pipeline derives the batch
+#: from the autotuned scan-tile size instead (one hashing pass covers
+#: about one scan tile), so the stage boundary follows the measured
+#: geometry rather than this constant.
 DEFAULT_PIPELINE_BATCH = 256
+
+
+def _resolve_batch_chunks(config: ChunkerConfig) -> int:
+    """Hash-batch size matched to the tuned scan tile.
+
+    ``tile_bytes / expected_chunk_size`` chunks make one hash pass span
+    roughly one scan tile, clamped to a sane range so degenerate mask
+    settings cannot produce 1-chunk or million-chunk batches.
+    """
+    from repro.core.autotune import get_geometry
+
+    expected = max(1, config.expected_chunk_size)
+    return max(32, min(4096, get_geometry().tile_bytes // expected))
 
 _PIPE_END = object()
 
@@ -556,7 +574,7 @@ def pipeline_chunks(
     config: ChunkerConfig,
     buffers: Iterable,
     carry_limit: int = 1 << 26,
-    batch_chunks: int = DEFAULT_PIPELINE_BATCH,
+    batch_chunks: int | None = None,
     queue_depth: int = 4,
 ) -> Iterator[list[Chunk]]:
     """Stage-overlapped chunking: scan || hash || consume (§4.2 on the CPU).
@@ -586,39 +604,71 @@ def pipeline_chunks(
     :func:`repro.core.threads.set_threads`) the stages run inline on
     the calling thread — no workers, same batches, same error type —
     so the serial configuration is genuinely single-threaded.
+
+    ``batch_chunks=None`` (the default) sizes batches from the
+    autotuned scan-tile geometry (one hashing pass per scan tile, see
+    :func:`_resolve_batch_chunks`).  Both stages accumulate wall-clock
+    into the ``scan`` / ``hash`` stage timers of
+    :mod:`repro.core.stats`, powering ``repro chunk --profile``.
     """
+    from repro.core import stats
     from repro.core.pipeline import PipelineError  # shared error type
     from repro.core.threads import get_threads
 
+    if batch_chunks is None:
+        batch_chunks = _resolve_batch_chunks(config)
     if batch_chunks < 1:
         raise ValueError("batch_chunks must be >= 1")
     if queue_depth < 1:
         raise ValueError("queue_depth must be >= 1")
 
     if get_threads() <= 1:
+        scan_s = hash_s = 0.0
+        stream = stream_chunks(
+            candidate_fn, config, buffers, carry_limit=carry_limit
+        )
         try:
             batch: list[Chunk] = []
-            for chunk in stream_chunks(
-                candidate_fn, config, buffers, carry_limit=carry_limit
-            ):
+            while True:
+                t0 = time.perf_counter()
+                chunk = next(stream, _PIPE_END)
+                scan_s += time.perf_counter() - t0
+                if chunk is _PIPE_END:
+                    break
                 batch.append(chunk)
                 if len(batch) >= batch_chunks:
-                    yield ensure_digests(batch)
+                    t0 = time.perf_counter()
+                    ensure_digests(batch)
+                    hash_s += time.perf_counter() - t0
+                    yield batch
                     batch = []
             if batch:
-                yield ensure_digests(batch)
+                t0 = time.perf_counter()
+                ensure_digests(batch)
+                hash_s += time.perf_counter() - t0
+                yield batch
         except Exception as exc:  # KeyboardInterrupt/SystemExit pass through
             raise PipelineError(f"chunk pipeline stage failed: {exc!r}") from exc
+        finally:
+            stats.record_stage("scan", scan_s)
+            stats.record_stage("hash", hash_s)
         return
 
     handoff = _PipelineHandoff(2, queue_depth)
 
     def scan_worker() -> None:
+        scan_s = 0.0
+        stream = stream_chunks(
+            candidate_fn, config, buffers, carry_limit=carry_limit
+        )
         try:
             batch: list[Chunk] = []
-            for chunk in stream_chunks(
-                candidate_fn, config, buffers, carry_limit=carry_limit
-            ):
+            while True:
+                t0 = time.perf_counter()
+                chunk = next(stream, _PIPE_END)
+                scan_s += time.perf_counter() - t0
+                if chunk is _PIPE_END:
+                    break
                 batch.append(chunk)
                 if len(batch) >= batch_chunks:
                     if not handoff.put(0, batch):
@@ -629,20 +679,25 @@ def pipeline_chunks(
         except BaseException as exc:
             handoff.fail(exc)
         finally:
+            stats.record_stage("scan", scan_s)
             handoff.put(0, _PIPE_END)
 
     def hash_worker() -> None:
+        hash_s = 0.0
         try:
             while True:
                 batch = handoff.get(0)
                 if batch is _PIPE_END:
                     return
+                t0 = time.perf_counter()
                 ensure_digests(batch)
+                hash_s += time.perf_counter() - t0
                 if not handoff.put(1, batch):
                     return
         except BaseException as exc:
             handoff.fail(exc)
         finally:
+            stats.record_stage("hash", hash_s)
             handoff.put(1, _PIPE_END)
 
     workers = [
@@ -757,7 +812,7 @@ class Chunker:
         self,
         buffers: Iterable,
         carry_limit: int = 1 << 26,
-        batch_chunks: int = DEFAULT_PIPELINE_BATCH,
+        batch_chunks: int | None = None,
         queue_depth: int = 4,
     ) -> Iterator[Chunk]:
         """Chunk a stream with scan/hash stage overlap; digests prefilled.

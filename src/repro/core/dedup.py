@@ -9,12 +9,25 @@ memoization keys.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.core.chunking import Chunk
 
 __all__ = ["DedupIndex", "DedupStats"]
+
+
+def _record_lookup(seconds: float) -> None:
+    """Feed batched-probe wall-clock to the ``lookup`` stage timer.
+
+    Lazy import: stats sits above chunking (hence above this module) in
+    the import graph.  Only the batched entry points are timed — the
+    per-chunk path is too fine-grained to meter without distorting it.
+    """
+    from repro.core import stats
+
+    stats.record_stage("lookup", seconds)
 
 
 @dataclass
@@ -83,8 +96,11 @@ class DedupIndex:
         path shares (one request, many digests) — use
         :meth:`lookup_or_insert_batch` for the stateful backup flow.
         """
+        t0 = time.perf_counter()
         index = self._index
-        return [index.get(d) for d in digests]
+        result = [index.get(d) for d in digests]
+        _record_lookup(time.perf_counter() - t0)
+        return result
 
     def lookup_or_insert_batch(self, chunks: Sequence[Chunk]) -> list[tuple[bool, int]]:
         """Batched :meth:`lookup_or_insert` over a chunk sequence.
@@ -94,7 +110,10 @@ class DedupIndex:
         chunks of the same batch — but gives callers one call site to
         amortize, keeping the single-node and cluster paths symmetric.
         """
-        return [self.lookup_or_insert(chunk) for chunk in chunks]
+        t0 = time.perf_counter()
+        result = [self.lookup_or_insert(chunk) for chunk in chunks]
+        _record_lookup(time.perf_counter() - t0)
+        return result
 
     def add_all(self, chunks) -> DedupStats:
         """Feed a chunk sequence through the index; returns the stats."""

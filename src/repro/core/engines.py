@@ -24,10 +24,19 @@ Two interchangeable implementations:
     is cut into cache-sized tiles, each tile into ``lanes`` equal
     sub-streams, and every lane rolls its own window serially while NumPy
     vectorizes *across* lanes — exactly the paper's SPMD kernel layout
-    (§3.1), with the two 256-entry roll tables staying L1-resident
-    instead of the 3 MB pair tables being re-gathered per byte.  All
-    lookup tables are cached at module level keyed by
-    ``(polynomial, window_size)`` so fresh engines are cheap to build.
+    (§3.1).  By default the striped scan runs the **fused multi-step
+    roll kernel** (``roll_steps``): the same GF(2) linearity that yields
+    the position tables collapses a step's out-table and entering-byte
+    lookups into one gather from a composite 16-bit-indexed roll table,
+    and one kernel launch pre-gathers ``roll_steps`` steps' data terms
+    for every lane before an unrolled reduce chain retires them —
+    amortizing per-launch dispatch the way the paper amortizes kernel
+    launch and DMA over larger work units (§4.1).  ``roll_steps=1``
+    preserves the original one-step loop as the differential reference.
+    All lookup tables are cached at module level keyed by
+    ``(polynomial, window_size)`` so fresh engines are cheap to build;
+    default geometry (lanes/tile/roll_steps) comes from the per-host
+    autotuner (:mod:`repro.core.autotune`) rather than constants.
 """
 
 from __future__ import annotations
@@ -48,7 +57,11 @@ __all__ = [
     "as_byte_view",
     "as_uint8",
     "engine_tables",
+    "fused_roll_tables",
     "parallel_candidate_cuts",
+    "DEFAULT_LANES",
+    "DEFAULT_TILE_BYTES",
+    "DEFAULT_ROLL_STEPS",
 ]
 
 
@@ -127,6 +140,52 @@ def engine_tables(fingerprinter: RabinFingerprinter) -> _EngineTables:
             tables = _TABLE_CACHE.get(key)
             if tables is None:
                 tables = _TABLE_CACHE[key] = _EngineTables(fingerprinter)
+    return tables
+
+
+class _FusedRollTables:
+    """Composite roll table of the fused multi-step kernel.
+
+    One roll step is GF(2)-linear (see
+    :meth:`RabinFingerprinter.fused_out_table`):
+
+        f(p+1) = f(p) * x**8  ^  d[p] * x**(8*w)  ^  d[p+w]   (mod P)
+
+    ``data[v]`` fuses the whole data-dependent term into **one** gather:
+    for the 16-bit index ``v = d[p] | d[p+w] << 8`` it holds
+    ``lo(v) * x**(8*w)  ^  hi(v)  (mod P)``.  The classic path pays two
+    table lookups per position (out-table + reduce-table); the fused
+    kernel pays this one plus the shared 8-bit reduce fold, and batches
+    ``roll_steps`` positions' worth of ``data`` gathers into a single
+    NumPy dispatch.
+
+    The table is *step-count invariant* — ``roll_steps`` shapes how many
+    of these terms one kernel launch consumes (the stacked gather
+    width), not the table contents — so the cache is keyed by
+    ``(polynomial, window_size)`` alone and every ``roll_steps`` setting
+    shares one 512 KiB table.
+    """
+
+    __slots__ = ("data",)
+
+    def __init__(self, fingerprinter: RabinFingerprinter) -> None:
+        out = np.array(fingerprinter.fused_out_table(), dtype=np.uint64)
+        v = np.arange(65536, dtype=np.uint32)
+        self.data = out[v & 0xFF] ^ (v >> 8).astype(np.uint64)
+
+
+_FUSED_CACHE: dict[tuple[int, int], _FusedRollTables] = {}
+
+
+def fused_roll_tables(fingerprinter: RabinFingerprinter) -> _FusedRollTables:
+    """Shared composite roll table for ``fingerprinter`` (built once)."""
+    key = (fingerprinter.polynomial, fingerprinter.window_size)
+    tables = _FUSED_CACHE.get(key)
+    if tables is None:
+        with _TABLE_LOCK:
+            tables = _FUSED_CACHE.get(key)
+            if tables is None:
+                tables = _FUSED_CACHE[key] = _FusedRollTables(fingerprinter)
     return tables
 
 
@@ -236,11 +295,16 @@ class SerialEngine(Engine):
         return cuts
 
 
-#: Default striped-scan geometry: 4096 lanes over 4 MiB tiles keeps the
-#: per-step working set (a handful of lane-wide uint64 vectors) in L2 and
-#: the tile itself in L3, while amortizing NumPy dispatch over wide ops.
+#: Fallback striped-scan geometry, used when self-tuning is disabled
+#: (``REPRO_AUTOTUNE=0``) or has not produced a per-host answer yet:
+#: 4096 lanes over 4 MiB tiles keeps the per-step working set (a handful
+#: of lane-wide uint64 vectors) in L2 and the tile itself in L3, and the
+#: fused kernel advances every lane 8 positions per launch.  The real
+#: geometry should come from :mod:`repro.core.autotune`, which measures
+#: this host instead of assuming it.
 DEFAULT_LANES = 4096
 DEFAULT_TILE_BYTES = 4 << 20
+DEFAULT_ROLL_STEPS = 8
 
 
 class VectorEngine(Engine):
@@ -251,10 +315,20 @@ class VectorEngine(Engine):
     ``XOR_q T2[q][pair(i + 2q)]`` where ``pair(p) = data[p] | data[p+1]<<8``
     (``T2`` are the cached pair tables).
 
-    Large buffers use the striped rolling scan (see module docstring):
-    per input byte it costs two gathers from 256-entry L1-resident roll
-    tables plus a few lane-wide ALU ops, instead of ``window/2`` gathers
-    from the 3 MB pair tables — several times faster and bit-identical.
+    Large buffers use the striped rolling scan (see module docstring).
+    With ``roll_steps == 1`` each position costs two gathers from
+    256-entry L1-resident roll tables plus a few lane-wide ALU ops —
+    kept as the differential reference for the fused kernel.  With
+    ``roll_steps = S > 1`` (the default) the **fused multi-step roll
+    kernel** runs instead: the two data lookups of a step collapse into
+    one gather from the composite 16-bit-indexed roll table
+    (:func:`fused_roll_tables`), and one kernel launch pre-gathers the
+    data terms for ``S`` consecutive steps of every lane before an
+    unrolled in-launch reduce chain retires them — ``S`` positions per
+    lane per dispatch, amortizing per-launch overhead exactly like the
+    paper amortizes kernel launch + DMA over larger work units (§4.1).
+    Both paths are bit-identical to each other and to the gather
+    reference (differentially fuzzed).
 
     On multi-core hosts the striped scan itself fans out: window
     positions are partitioned into per-worker regions (each at least one
@@ -271,28 +345,43 @@ class VectorEngine(Engine):
     def __init__(
         self,
         fingerprinter: RabinFingerprinter | None = None,
-        lanes: int = DEFAULT_LANES,
-        tile_bytes: int = DEFAULT_TILE_BYTES,
+        lanes: int | None = None,
+        tile_bytes: int | None = None,
         threads: int | None = None,
+        roll_steps: int | None = None,
     ) -> None:
         self.fingerprinter = fingerprinter or RabinFingerprinter()
         w = self.fingerprinter.window_size
         if w % 2 != 0:
             raise ValueError(f"VectorEngine requires an even window size, got {w}")
+        if lanes is None or tile_bytes is None or roll_steps is None:
+            # Geometry left open: measured per host, not assumed.  The
+            # import is deferred because autotune builds VectorEngines
+            # (with explicit geometry) while benchmarking.
+            from repro.core.autotune import get_geometry
+
+            geometry = get_geometry()
+            lanes = geometry.lanes if lanes is None else lanes
+            tile_bytes = geometry.tile_bytes if tile_bytes is None else tile_bytes
+            roll_steps = geometry.roll_steps if roll_steps is None else roll_steps
         if lanes < 1:
             raise ValueError("lanes must be >= 1")
         if tile_bytes < 1:
             raise ValueError("tile_bytes must be >= 1")
+        if roll_steps < 1:
+            raise ValueError("roll_steps must be >= 1")
         if threads is not None and threads < 0:
             raise ValueError("threads must be >= 0 (or None for the default)")
         self.lanes = lanes
         self.tile_bytes = tile_bytes
+        self.roll_steps = roll_steps
         self.threads = threads
         tables = engine_tables(self.fingerprinter)
         self._pair_tables = tables.pair
         self._low_tables = tables.low
         self._out_table = tables.out
         self._reduce_table = tables.reduce
+        self._fused_table = fused_roll_tables(self.fingerprinter).data
 
     # -- gather evaluation (reference; also the small-input fast path) -----
 
@@ -353,7 +442,9 @@ class VectorEngine(Engine):
         windows = sliding_window_view(d, w)  # (m, w) zero-copy view
         eight = np.uint64(8)
         hits: list[np.ndarray] = []
+        dispatches = tiles = 0
         for t0 in range(0, m, self.tile_bytes):
+            tiles += 1
             mt = min(self.tile_bytes, m - t0)
             lanes = min(self.lanes, mt)
             steps = -(-mt // lanes)  # window positions per lane
@@ -386,6 +477,7 @@ class VectorEngine(Engine):
             history = np.empty((steps, lanes), dtype=fp_dtype)
             history[0] = f if not narrow else f.astype(np.uint16)
             top = np.empty(lanes, dtype=np.uint64)
+            dispatches += steps  # seed launch + one roll launch per step
             for t in range(1, steps):
                 f ^= out_table[leaving[t - 1]]
                 f <<= eight
@@ -397,11 +489,141 @@ class VectorEngine(Engine):
             tt, jj = np.nonzero((history & m_mask) == m_marker)
             pos = starts[jj] + tt
             hits.append(pos[pos < t0 + mt])
+        self._record_scan(dispatches, tiles, m, n, roll_steps=1)
         if not hits:
             return np.empty(0, dtype=np.int64)
         out = np.concatenate(hits)
         out.sort()
         return out
+
+    def _striped_hits_fused(self, d: np.ndarray, mask: int, marker: int) -> np.ndarray:
+        """Window-start offsets of marker windows, via the fused roll kernel.
+
+        Same tiling and lane layout as :meth:`_striped_hits`, but each
+        kernel launch advances every lane ``roll_steps`` positions:
+
+        * The per-step data term collapses into **one** gather from the
+          composite roll table ``T[d[p] | d[p+w] << 8]``
+          (:class:`_FusedRollTables`) instead of separate out-table and
+          append lookups — the combined 16-bit index array is built once
+          per tile by byte interleaving (a view, not arithmetic).
+        * One stacked gather per launch fetches the data terms of all
+          ``roll_steps`` consecutive steps of every lane; the unrolled
+          in-launch chain then retires them with the shared 8-bit
+          reduce fold.  Dispatch count per position drops by the fused
+          step factor, and the gathered block is read contiguously
+          (the gather runs through a strided index *view*, so the tile
+          is never transposed).
+
+        Bit-identical to :meth:`_striped_hits` and the gather reference
+        at every ``roll_steps`` (differentially fuzzed).
+        """
+        fp = self.fingerprinter
+        w = fp.window_size
+        deg = np.uint64(fp.degree)
+        residue_mask = np.uint64((1 << fp.degree) - 1)
+        reduce_table = self._reduce_table
+        fused_table = self._fused_table
+        S = self.roll_steps
+        narrow = mask <= 0xFFFF
+        if narrow:
+            fp_dtype, m_mask, m_marker = np.uint16, np.uint16(mask), np.uint16(marker)
+        else:
+            fp_dtype, m_mask, m_marker = np.uint64, np.uint64(mask), np.uint64(marker)
+
+        n = d.size
+        m = n - w + 1
+        windows = sliding_window_view(d, w)  # (m, w) zero-copy view
+        eight = np.uint64(8)
+        hits: list[np.ndarray] = []
+        dispatches = tiles = 0
+        for t0 in range(0, m, self.tile_bytes):
+            tiles += 1
+            mt = min(self.tile_bytes, m - t0)
+            # Lane sub-streams are padded to a whole number of fused
+            # launches; padded positions land >= t0 + mt and are
+            # filtered below, exactly like the ceil-rounding of the
+            # 1-step path.
+            blocks = max(1, -(-mt // (self.lanes * S)))
+            steps = blocks * S  # window positions per lane
+            lanes = min(self.lanes, -(-mt // steps))
+            starts = t0 + np.arange(lanes, dtype=np.int64) * steps
+            # Seed fingerprints: one gather of each lane's first window.
+            seed = windows[np.minimum(starts, m - 1)]
+            pairs = seed[:, 0::2].astype(np.uint16) | (
+                seed[:, 1::2].astype(np.uint16) << np.uint16(8)
+            )
+            f = self._pair_tables[0][pairs[:, 0]].copy()
+            for q in range(1, w // 2):
+                f ^= self._pair_tables[q][pairs[:, q]]
+            # Composite roll index: idx[p] = d[p] | d[p+w] << 8 for every
+            # lane-local position p, built by byte interleaving into a
+            # little-endian uint16 view.  Rolling *to* position r
+            # consumes idx[r - 1].  The last roll of the last lane reads
+            # d[lanes*steps + w - 1], hence the +w segment (the final
+            # tile zero-pads its tail; padded positions are filtered).
+            need = lanes * steps + w
+            if t0 + need <= n:
+                seg = d[t0 : t0 + need]
+            else:
+                seg = np.zeros(need, dtype=np.uint8)
+                seg[: n - t0] = d[t0:]
+            span = lanes * steps
+            inter = np.empty((span, 2), dtype=np.uint8)
+            inter[:, 0] = seg[:span]
+            inter[:, 1] = seg[w : w + span]
+            idx = inter.view(np.uint16).reshape(lanes, steps)
+            hist = np.empty((steps, lanes), dtype=fp_dtype)
+            hist[0] = f if not narrow else f.astype(np.uint16)
+            top = np.empty(lanes, dtype=np.uint64)
+            dispatches += 1  # the seed launch
+            for r0 in range(1, steps, S):
+                blk = min(S, steps - r0)
+                dispatches += 1
+                # One stacked gather fetches the whole launch's data
+                # terms; the index view is strided, the gathered block
+                # contiguous.
+                g = fused_table[idx[:, r0 - 1 : r0 - 1 + blk].T]  # (blk, lanes)
+                for k in range(blk):
+                    # f <- f * x**8  ^  data-term   (mod P)
+                    f <<= eight
+                    np.right_shift(f, deg, out=top)
+                    f &= residue_mask
+                    f ^= reduce_table[top]
+                    f ^= g[k]
+                    hist[r0 + k] = f  # narrow dtype keeps the low 16 bits
+            tt, jj = np.nonzero((hist & m_mask) == m_marker)
+            pos = starts[jj] + tt
+            hits.append(pos[pos < t0 + mt])
+        self._record_scan(dispatches, tiles, m, n, roll_steps=S)
+        if not hits:
+            return np.empty(0, dtype=np.int64)
+        out = np.concatenate(hits)
+        out.sort()
+        return out
+
+    def _record_scan(
+        self, dispatches: int, tiles: int, positions: int, nbytes: int,
+        roll_steps: int,
+    ) -> None:
+        """Feed one scan's instrumentation to :mod:`repro.core.stats`.
+
+        Imported lazily: stats sits above chunking in the import graph,
+        so a top-level import here would be circular.
+        """
+        from repro.core import stats
+
+        stats.record_scan(
+            dispatches=dispatches,
+            tiles=tiles,
+            positions=positions,
+            scanned_bytes=nbytes,
+            geometry={
+                "lanes": self.lanes,
+                "tile_bytes": self.tile_bytes,
+                "roll_steps": roll_steps,
+            },
+        )
 
     # -- public scan API ---------------------------------------------------
 
@@ -410,20 +632,30 @@ class VectorEngine(Engine):
         return self.threads if self.threads is not None else get_threads()
 
     def serial_cut_array(self, data, mask: int, marker: int) -> np.ndarray:
-        """Single-threaded scan: striped for large inputs, gather for small."""
+        """Single-threaded scan: striped for large inputs, gather for small.
+
+        The striped scan runs the fused multi-step kernel when
+        ``roll_steps > 1`` and the classic one-step roll (the
+        differential reference) at ``roll_steps == 1``.
+        """
         d = as_uint8(data)
         w = self.fingerprinter.window_size
         m = d.size - w + 1
         if m <= 0:
             return np.empty(0, dtype=np.int64)
         if m > 2 * self.lanes:
-            hits = self._striped_hits(d, mask, marker)
-        elif mask <= 0xFFFF:
-            fps = self._low_fingerprints(d)
-            hits = np.nonzero((fps & np.uint16(mask)) == np.uint16(marker))[0]
+            if self.roll_steps > 1:
+                hits = self._striped_hits_fused(d, mask, marker)
+            else:
+                hits = self._striped_hits(d, mask, marker)
         else:
-            fps = self.fingerprints(d)
-            hits = np.nonzero((fps & np.uint64(mask)) == np.uint64(marker))[0]
+            if mask <= 0xFFFF:
+                fps = self._low_fingerprints(d)
+                hits = np.nonzero((fps & np.uint16(mask)) == np.uint16(marker))[0]
+            else:
+                fps = self.fingerprints(d)
+                hits = np.nonzero((fps & np.uint64(mask)) == np.uint64(marker))[0]
+            self._record_scan(1, 1, m, d.size, roll_steps=0)
         return hits.astype(np.int64, copy=False) + w
 
     def candidate_cut_array(self, data, mask: int, marker: int) -> np.ndarray:

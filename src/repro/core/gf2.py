@@ -20,6 +20,8 @@ __all__ = [
     "mod",
     "multiply_mod",
     "pow_mod",
+    "monomial_mod",
+    "byte_shift_table",
     "gcd",
     "is_irreducible",
     "find_irreducible",
@@ -79,6 +81,30 @@ def pow_mod(base: int, exponent: int, m: int) -> int:
         base = multiply_mod(base, base, m)
         exponent >>= 1
     return result
+
+
+def monomial_mod(exponent: int, m: int) -> int:
+    """Return ``x**exponent mod m`` — the shift constant of a roll step.
+
+    Rolling a Rabin window is linear over GF(2), so every fused-kernel
+    table reduces to sums of ``byte * x**k mod P`` for various ``k``;
+    this is the one place those monomial residues come from.
+    """
+    if exponent < 0:
+        raise ValueError(f"exponent must be >= 0, got {exponent}")
+    return pow_mod(0b10, exponent, m)
+
+
+def byte_shift_table(exponent: int, m: int) -> tuple[int, ...]:
+    """256-entry table ``T[b] = b * x**exponent mod m``.
+
+    The building block of every composite roll table: the contribution
+    of one byte at a fixed polynomial shift.  Callers combine these
+    (XOR) into wider fused tables — e.g. the 16-bit-indexed
+    leaving/entering table of the fused roll kernel.
+    """
+    shift = monomial_mod(exponent, m)
+    return tuple(multiply_mod(b, shift, m) for b in range(256))
 
 
 def gcd(a: int, b: int) -> int:

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
@@ -66,19 +67,31 @@ class StreamingPipeline:
         stop = threading.Event()
 
         def worker(stage: Stage, inq: queue.Queue, outq: queue.Queue) -> None:
-            while True:
-                item = inq.get()
-                if item is _SENTINEL:
-                    outq.put(_SENTINEL)
-                    return
-                if stop.is_set():
-                    continue  # drain without processing after a failure
-                try:
-                    outq.put(stage.fn(item))
-                except BaseException as exc:  # propagate to caller
-                    with error_lock:
-                        errors.append(exc)
-                    stop.set()
+            # Each stage accumulates the wall-clock spent inside its fn
+            # (queue waits excluded) into the shared stage timers, so
+            # profiling sees where pipeline time actually goes.
+            from repro.core import stats
+
+            busy = 0.0
+            try:
+                while True:
+                    item = inq.get()
+                    if item is _SENTINEL:
+                        outq.put(_SENTINEL)
+                        return
+                    if stop.is_set():
+                        continue  # drain without processing after a failure
+                    try:
+                        t0 = time.perf_counter()
+                        result = stage.fn(item)
+                        busy += time.perf_counter() - t0
+                        outq.put(result)
+                    except BaseException as exc:  # propagate to caller
+                        with error_lock:
+                            errors.append(exc)
+                        stop.set()
+            finally:
+                stats.record_stage(stage.name, busy)
 
         threads = [
             threading.Thread(

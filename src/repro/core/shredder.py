@@ -32,7 +32,6 @@ from typing import Iterable, Iterator
 
 from repro.core.buffers import PinnedRingBuffer
 from repro.core.chunking import (
-    DEFAULT_PIPELINE_BATCH,
     Chunk,
     Chunker,
     ChunkerConfig,
@@ -327,7 +326,7 @@ class Shredder:
     def pipeline_batches(
         self,
         data: bytes | Iterable[bytes],
-        batch_chunks: int = DEFAULT_PIPELINE_BATCH,
+        batch_chunks: int | None = None,
         queue_depth: int = 4,
     ) -> Iterator[list[Chunk]]:
         """Stage-overlapped chunk+hash batches, in stream order.

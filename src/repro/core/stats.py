@@ -1,14 +1,45 @@
-"""Chunk-size and dedup statistics helpers."""
+"""Chunk-size, dedup, and scan-instrumentation statistics helpers.
+
+Besides the chunk-size summaries, this module hosts two lightweight
+process-wide instrumentation sinks for the fast path:
+
+* **Scan counters** — every striped/fused tile scan records how many
+  kernel dispatches it issued (one dispatch = one fused roll-kernel
+  launch advancing every lane ``roll_steps`` positions; the paper's
+  per-launch amortization, §4.1, measured instead of modeled), how many
+  bytes and tiles it covered, and the tile geometry used.  The e2e
+  benchmark surfaces ``bytes_per_dispatch`` so dispatch reduction shows
+  up directly in ``BENCH_e2e.json``.
+* **Stage timers** — the chunk pipeline (scan / hash) and the dedup
+  index (lookup) accumulate wall-clock per stage, powering
+  ``python -m repro chunk --profile``.
+
+Both sinks are cumulative until reset, guarded by one lock, and cheap:
+they are touched once per tile scan / pipeline batch, never per byte.
+"""
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.core.chunking import Chunk
 
-__all__ = ["SizeStats", "size_stats", "dedup_ratio", "unique_bytes"]
+__all__ = [
+    "SizeStats",
+    "size_stats",
+    "dedup_ratio",
+    "unique_bytes",
+    "ScanCounters",
+    "record_scan",
+    "scan_counters",
+    "reset_scan_counters",
+    "record_stage",
+    "stage_times",
+    "reset_stage_times",
+]
 
 
 @dataclass(frozen=True)
@@ -52,3 +83,113 @@ def dedup_ratio(chunks: Sequence[Chunk]) -> float:
     if total == 0:
         return 0.0
     return 1.0 - unique_bytes(chunks) / total
+
+
+# ----------------------------------------------------------------------
+# scan instrumentation
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ScanCounters:
+    """Cumulative striped-scan instrumentation since the last reset.
+
+    ``dispatches`` counts fused roll-kernel launches (Python-level loop
+    iterations of the striped scan: each launch advances every lane by
+    ``roll_steps`` positions, plus one launch per tile seed / gather
+    evaluation).  ``geometry`` records the last scan's effective
+    ``(lanes, tile_bytes, roll_steps)`` so benchmark rows can attribute
+    a dispatch rate to the geometry that produced it.
+    """
+
+    scans: int = 0
+    tiles: int = 0
+    dispatches: int = 0
+    positions: int = 0
+    scanned_bytes: int = 0
+    geometry: dict = field(default_factory=dict)
+
+    @property
+    def bytes_per_dispatch(self) -> float:
+        """Mean payload bytes advanced per kernel dispatch."""
+        if self.dispatches == 0:
+            return 0.0
+        return self.scanned_bytes / self.dispatches
+
+    @property
+    def dispatches_per_mib(self) -> float:
+        """Kernel dispatches issued per MiB scanned (the ISSUE metric)."""
+        if self.scanned_bytes == 0:
+            return 0.0
+        return self.dispatches / (self.scanned_bytes / (1 << 20))
+
+
+_SCAN_LOCK = threading.Lock()
+_SCAN = ScanCounters()
+_STAGES: dict[str, float] = {}
+
+
+def record_scan(
+    *,
+    dispatches: int,
+    tiles: int,
+    positions: int,
+    scanned_bytes: int,
+    geometry: dict | None = None,
+) -> None:
+    """Accumulate one tile-scan's instrumentation (thread-safe)."""
+    with _SCAN_LOCK:
+        _SCAN.scans += 1
+        _SCAN.tiles += tiles
+        _SCAN.dispatches += dispatches
+        _SCAN.positions += positions
+        _SCAN.scanned_bytes += scanned_bytes
+        if geometry:
+            _SCAN.geometry = dict(geometry)
+
+
+def scan_counters() -> ScanCounters:
+    """Snapshot of the cumulative scan counters."""
+    with _SCAN_LOCK:
+        return ScanCounters(
+            scans=_SCAN.scans,
+            tiles=_SCAN.tiles,
+            dispatches=_SCAN.dispatches,
+            positions=_SCAN.positions,
+            scanned_bytes=_SCAN.scanned_bytes,
+            geometry=dict(_SCAN.geometry),
+        )
+
+
+def reset_scan_counters() -> None:
+    """Zero the cumulative scan counters (e.g. before a timed run)."""
+    with _SCAN_LOCK:
+        _SCAN.scans = 0
+        _SCAN.tiles = 0
+        _SCAN.dispatches = 0
+        _SCAN.positions = 0
+        _SCAN.scanned_bytes = 0
+        _SCAN.geometry = {}
+
+
+# ----------------------------------------------------------------------
+# pipeline stage timers
+# ----------------------------------------------------------------------
+
+
+def record_stage(name: str, seconds: float) -> None:
+    """Accumulate wall-clock for one pipeline stage (thread-safe)."""
+    with _SCAN_LOCK:
+        _STAGES[name] = _STAGES.get(name, 0.0) + seconds
+
+
+def stage_times() -> dict[str, float]:
+    """Snapshot of accumulated per-stage seconds since the last reset."""
+    with _SCAN_LOCK:
+        return dict(_STAGES)
+
+
+def reset_stage_times() -> None:
+    """Zero the per-stage timers."""
+    with _SCAN_LOCK:
+        _STAGES.clear()

@@ -30,6 +30,8 @@ from concurrent.futures import ThreadPoolExecutor
 __all__ = [
     "get_threads",
     "set_threads",
+    "set_default_threads",
+    "available_cpus",
     "scan_pool",
     "hash_pool",
     "close_pools",
@@ -41,6 +43,7 @@ MAX_HASH_WORKERS = 8
 
 _lock = threading.Lock()
 _override: int | None = None
+_tuned_default: int | None = None
 _scan_pool: ThreadPoolExecutor | None = None
 _hash_pool: ThreadPoolExecutor | None = None
 _pool_width: dict[str, int] = {}
@@ -68,8 +71,29 @@ def _env_threads() -> int | None:
     return value
 
 
+def available_cpus() -> int:
+    """CPUs this process may actually run on (cgroup/affinity-aware).
+
+    On containerized or affinity-limited hosts ``os.cpu_count()``
+    overstates the real parallelism; scheduling decisions (default
+    worker counts, the autotuner's thread grid, benchmark scaling
+    gates) should use this instead.
+    """
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return len(os.sched_getaffinity(0)) or 1
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    return os.cpu_count() or 1
+
+
 def get_threads() -> int:
-    """Effective worker count: override > ``REPRO_THREADS`` > CPU count.
+    """Effective worker count.
+
+    Precedence: :func:`set_threads` override > ``REPRO_THREADS`` >
+    autotuned default (:func:`set_default_threads`, fed by
+    :mod:`repro.core.autotune` from the measured thread-sweep winner) >
+    available CPU count.
 
     ``0`` and ``1`` both mean serial; callers treat any value ``<= 1``
     as "do not use worker threads".
@@ -79,7 +103,9 @@ def get_threads() -> int:
     env = _env_threads()
     if env is not None:
         return env
-    return os.cpu_count() or 1
+    if _tuned_default is not None:
+        return _tuned_default
+    return available_cpus()
 
 
 def set_threads(n: int | None) -> None:
@@ -106,6 +132,20 @@ def set_threads(n: int | None) -> None:
         _pool_width.clear()
     for pool in drain:
         pool.shutdown(wait=True)
+
+
+def set_default_threads(n: int | None) -> None:
+    """Install the autotuned worker-count default (``None`` clears it).
+
+    Sits *below* the explicit knobs in :func:`get_threads` precedence:
+    a user's ``REPRO_THREADS`` or :func:`set_threads` always wins.
+    Unlike :func:`set_threads` this does not retire live pools — it only
+    changes what future auto-detected calls see.
+    """
+    global _tuned_default
+    if n is not None and n < 0:
+        raise ValueError(f"thread count must be >= 0, got {n}")
+    _tuned_default = n
 
 
 def _get_pool(which: str, workers: int) -> ThreadPoolExecutor:

@@ -38,7 +38,9 @@ from repro.core.engines import (
     VectorEngine,
     as_uint8,
     engine_tables,
+    fused_roll_tables,
 )
+from repro.core.stats import reset_scan_counters, scan_counters
 from repro.core.hashing import chunk_hash, digest_chunks, digest_many
 from repro.core.rabin import RabinFingerprinter
 from tests.conftest import seeded_bytes
@@ -188,6 +190,124 @@ class TestDifferentialFuzz:
         a = list(serial.chunk_stream(pieces))
         b = list(vector.chunk_stream(pieces))
         assert [(c.offset, c.digest) for c in a] == [(c.offset, c.digest) for c in b]
+
+
+class TestFusedRollKernel:
+    """Fused S-step roll vs the 1-step reference: bit-identical always.
+
+    ``roll_steps=1`` runs the original striped loop (the differential
+    reference the ISSUE requires we keep); every fused setting must
+    reproduce it — and the pure-Python SerialEngine — exactly, across
+    padding boundaries, degenerate geometries, zero runs, and wide
+    masks.
+    """
+
+    @pytest.mark.parametrize("steps", [1, 2, 8, 32])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_differential_fuzz_vs_one_step_and_serial(self, steps, seed):
+        data = random.Random(seed).randbytes(48 * 1024 + seed * 1237)
+        expect = SerialEngine(SMALL_FP).candidate_cuts(data, SMALL_MASK, SMALL_MARKER)
+        one = VectorEngine(SMALL_FP, lanes=64, tile_bytes=4096, roll_steps=1)
+        fused = VectorEngine(SMALL_FP, lanes=64, tile_bytes=4096, roll_steps=steps)
+        assert one.candidate_cuts(data, SMALL_MASK, SMALL_MARKER) == expect
+        assert fused.candidate_cuts(data, SMALL_MASK, SMALL_MARKER) == expect
+
+    @pytest.mark.parametrize("steps", [2, 8, 32])
+    @pytest.mark.parametrize(
+        "size_fn",
+        [
+            lambda lanes, steps: 2 * lanes + 1,  # barely past the gather path
+            lambda lanes, steps: lanes * steps * 3,  # exact launch multiple
+            lambda lanes, steps: lanes * steps * 3 + 1,  # one over
+            lambda lanes, steps: lanes * steps * 3 - 1,  # one under
+            lambda lanes, steps: lanes * steps + steps - 1,  # partial last block
+        ],
+    )
+    def test_padding_boundaries(self, steps, size_fn):
+        lanes = 32
+        size = size_fn(lanes, steps) + SMALL_FP.window_size - 1
+        data = random.Random(steps * size).randbytes(size)
+        fused = VectorEngine(SMALL_FP, lanes=lanes, tile_bytes=2048, roll_steps=steps)
+        assert fused.candidate_cuts(data, SMALL_MASK, SMALL_MARKER) == SerialEngine(
+            SMALL_FP
+        ).candidate_cuts(data, SMALL_MASK, SMALL_MARKER)
+
+    @pytest.mark.parametrize("steps", [2, 8, 32])
+    def test_window_larger_than_tile(self, steps):
+        """Tiles smaller than the window still roll seam-exact."""
+        data = random.Random(11).randbytes(4096)
+        fused = VectorEngine(SMALL_FP, lanes=2, tile_bytes=4, roll_steps=steps)
+        assert fused.candidate_cuts(data, SMALL_MASK, SMALL_MARKER) == SerialEngine(
+            SMALL_FP
+        ).candidate_cuts(data, SMALL_MASK, SMALL_MARKER)
+
+    @pytest.mark.parametrize("steps", [2, 8, 32])
+    def test_lanes_exceed_buffer(self, steps):
+        """More lanes than window positions: lanes clamp, pads filter."""
+        serial = SerialEngine(SMALL_FP)
+        fused = VectorEngine(SMALL_FP, lanes=4096, tile_bytes=1 << 20, roll_steps=steps)
+        for size in (SMALL_FP.window_size - 1, 100, 3000, 2 * 4096 + 7):
+            data = random.Random(size).randbytes(size)
+            assert fused.candidate_cuts(
+                data, SMALL_MASK, SMALL_MARKER
+            ) == serial.candidate_cuts(data, SMALL_MASK, SMALL_MARKER)
+
+    def test_all_zero_runs_fused(self):
+        data = bytes(16 * 1024) + seeded_bytes(1024, seed=7) + bytes(8 * 1024)
+        fused = VectorEngine(SMALL_FP, lanes=64, tile_bytes=2048, roll_steps=8)
+        assert fused.candidate_cuts(data, SMALL_MASK, SMALL_MARKER) == SerialEngine(
+            SMALL_FP
+        ).candidate_cuts(data, SMALL_MASK, SMALL_MARKER)
+
+    def test_wide_mask_fused(self):
+        """Masks past 16 bits take the uint64 history path of the kernel."""
+        data = seeded_bytes(128 * 1024, seed=6)
+        mask = (1 << 17) - 1
+        fused = VectorEngine(SMALL_FP, lanes=128, tile_bytes=8192, roll_steps=8)
+        assert fused.candidate_cuts(data, mask, 3) == SerialEngine(
+            SMALL_FP
+        ).candidate_cuts(data, mask, 3)
+
+    def test_default_window_48(self):
+        """The production 48-byte window, default polynomial."""
+        data = seeded_bytes(96 * 1024, seed=12)
+        mask, marker = (1 << 13) - 1, 0x1A2B & ((1 << 13) - 1)
+        serial = SerialEngine()
+        for steps in (2, 8, 32):
+            fused = VectorEngine(lanes=256, tile_bytes=16384, roll_steps=steps)
+            assert fused.candidate_cuts(data, mask, marker) == serial.candidate_cuts(
+                data, mask, marker
+            )
+
+    def test_roll_steps_validation(self):
+        with pytest.raises(ValueError, match="roll_steps"):
+            VectorEngine(SMALL_FP, lanes=8, tile_bytes=1024, roll_steps=0)
+
+    def test_fused_table_cache_shared(self):
+        """Composite roll tables are built once per (polynomial, window)."""
+        a = fused_roll_tables(RabinFingerprinter(SMALL_POLY, window_size=8))
+        b = fused_roll_tables(RabinFingerprinter(SMALL_POLY, window_size=8))
+        assert a is b
+        other = fused_roll_tables(RabinFingerprinter(SMALL_POLY, window_size=10))
+        assert other is not a
+
+    def test_dispatch_counters_report_reduction(self):
+        """S=8 issues >= 4x fewer kernel dispatches per MiB than S=1."""
+        data = seeded_bytes(1 << 20, seed=3)
+        rates = {}
+        for steps in (1, 8):
+            engine = VectorEngine(
+                lanes=1024, tile_bytes=1 << 18, roll_steps=steps, threads=1
+            )
+            reset_scan_counters()
+            engine.candidate_cut_array(data, (1 << 13) - 1, 0x0123)
+            counters = scan_counters()
+            assert counters.dispatches > 0
+            assert counters.scanned_bytes == len(data)
+            assert counters.geometry["roll_steps"] == steps
+            rates[steps] = counters.dispatches_per_mib
+        reset_scan_counters()
+        assert rates[1] / rates[8] >= 4.0
 
 
 class TestStreamLinearity:

@@ -194,6 +194,61 @@ class TestThreadedScanDifferential:
         assert chunk_shape(threaded) == chunk_shape(reference)
 
 
+class TestFusedKernelUnderThreads:
+    """Fused S-step roll under region fan-out: seam-exact at any width.
+
+    The fused kernel must compose with ``parallel_candidate_cuts`` the
+    same way the 1-step loop does — every (threads, roll_steps) pairing
+    reproduces the pure-Python reference bit-exactly, including seams
+    landing mid-launch-block.
+    """
+
+    @pytest.fixture(scope="class")
+    def serial(self) -> SerialEngine:
+        return SerialEngine()
+
+    @pytest.mark.parametrize("threads", [2, 4])
+    @pytest.mark.parametrize("steps", [2, 8, 32])
+    def test_fuzz_threads_x_steps(self, serial, threads, steps):
+        set_threads(4)
+        data = seeded_bytes(24 * 1024, seed=steps * 7 + threads)
+        ve = VectorEngine(threads=threads, roll_steps=steps, **SMALL)
+        assert ve.candidate_cuts(data, MASK, MARKER) == serial.candidate_cuts(
+            data, MASK, MARKER
+        )
+
+    def test_cut_on_seam_fused(self, serial):
+        """Seams placed exactly at (and around) known cuts, fused kernel."""
+        data = seeded_bytes(32 * 1024, seed=7)
+        cuts = serial.candidate_cuts(data, MASK, MARKER)
+        assert cuts, "fixture data must contain at least one marker"
+        w = serial.fingerprinter.window_size
+        for cut in cuts[:2]:
+            start = cut - w
+            for tile in (start - 1, start, start + 1):
+                if tile < 1:
+                    continue
+                ve = VectorEngine(lanes=8, tile_bytes=tile, threads=64, roll_steps=8)
+                assert ve.candidate_cuts(data, MASK, MARKER) == cuts
+
+    def test_window_larger_than_tile_fused(self, serial):
+        data = seeded_bytes(8 * 1024, seed=11)
+        w = serial.fingerprinter.window_size
+        ve = VectorEngine(lanes=4, tile_bytes=w // 3, threads=6, roll_steps=32)
+        assert ve.candidate_cuts(data, MASK, MARKER) == serial.candidate_cuts(
+            data, MASK, MARKER
+        )
+
+    def test_chunker_end_to_end_fused_threaded(self):
+        config = ChunkerConfig(min_size=512, max_size=4096)
+        data = seeded_bytes(96 * 1024, seed=22)
+        reference = Chunker(config, SerialEngine()).chunk(data)
+        fused = Chunker(
+            config, VectorEngine(threads=4, roll_steps=8, **SMALL)
+        ).chunk(data)
+        assert chunk_shape(fused) == chunk_shape(reference)
+
+
 class TestPipelineOrdering:
     CONFIG = ChunkerConfig(mask_bits=10, marker=0x1AB, min_size=64, max_size=4096)
 
@@ -272,6 +327,51 @@ class TestPipelineOrdering:
             list(pipeline_chunks(chunker.candidate_cuts, self.CONFIG, [], batch_chunks=0))
         with pytest.raises(ValueError):
             list(pipeline_chunks(chunker.candidate_cuts, self.CONFIG, [], queue_depth=0))
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_tuned_batch_default_matches_explicit(self, workers):
+        """``batch_chunks=None`` follows the tuned tile, chunks unchanged."""
+        from repro.core.autotune import ScanGeometry, clear_geometry, set_geometry
+
+        set_threads(workers)
+        data = seeded_bytes(128 * 1024, seed=17)
+        chunker = Chunker(self.CONFIG)
+        expected = list(chunker.chunk_stream(self._buffers(data, 17)))
+        set_geometry(ScanGeometry(tile_bytes=64 * 1024))
+        try:
+            batches = list(
+                pipeline_chunks(
+                    chunker.candidate_cuts, self.CONFIG, self._buffers(data, 17)
+                )
+            )
+        finally:
+            clear_geometry()
+        flat = [c for batch in batches for c in batch]
+        assert chunk_shape(flat) == chunk_shape(expected)
+        # 64 KiB tile / 1 KiB expected chunks -> 64-chunk batches.
+        assert all(len(b) <= 64 for b in batches)
+        assert len(batches[0]) == 64  # really followed the tile
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_stage_timers_accumulate(self, workers):
+        """The scan/hash stage split is recorded either execution mode."""
+        from repro.core.stats import reset_stage_times, stage_times
+
+        set_threads(workers)
+        data = seeded_bytes(128 * 1024, seed=23)
+        reset_stage_times()
+        list(
+            pipeline_chunks(
+                Chunker(self.CONFIG).candidate_cuts,
+                self.CONFIG,
+                self._buffers(data, 23),
+                batch_chunks=16,
+            )
+        )
+        times = stage_times()
+        assert times.get("scan", 0.0) > 0.0
+        assert times.get("hash", 0.0) > 0.0
+        reset_stage_times()
 
 
 class TestPipelinedBackupServer:

@@ -125,8 +125,8 @@ def reference_pipeline(data: bytes, config: ChunkerConfig, engine) -> tuple[list
         chunks.append(Chunk.from_bytes(prev, data[prev:cut]))  # copy + hash
         prev = cut
     index = DedupIndex()
-    for chunk in chunks:  # one Python probe per digest
-        index.lookup_or_insert(chunk)
+    for chunk in chunks:  # one Python probe per digest (batch of one)
+        index.lookup_or_insert_batch([chunk])
     return chunks, index
 
 

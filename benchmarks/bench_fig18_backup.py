@@ -28,18 +28,18 @@ def test_fig18(benchmark, report):
 
     def run():
         curves = {}
-        for backend in ("cpu", "gpu"):
+        for engine in ("cpu", "gpu"):
             bws = []
-            with BackupServer(BackupConfig(backend=backend)) as server:
+            with BackupServer(BackupConfig(engine=engine)) as server:
                 server.backup_snapshot(image.data, "master")
                 for i, p in enumerate(PROBABILITIES):
                     t = SimilarityTable.uniform(p, image.n_segments)
                     snap = image.snapshot(t, generation=i + 1)
-                    rep = server.backup_snapshot(snap, f"{backend}-{i}")
+                    rep = server.backup_snapshot(snap, f"{engine}-{i}")
                     # Integrity: the agent must be able to rebuild the image.
-                    assert server.agent.restore(f"{backend}-{i}") == snap
+                    assert server.agent.restore(f"{engine}-{i}") == snap
                     bws.append(rep.backup_bandwidth_gbps)
-            curves[backend] = bws
+            curves[engine] = bws
         return curves
 
     curves = benchmark.pedantic(run, rounds=1, iterations=1)

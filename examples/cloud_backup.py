@@ -18,17 +18,17 @@ def main() -> None:
     image = MasterImage(size=8 * MB, segment_size=32 * 1024, seed=13)
     print(f"master image: {image.size // MB} MiB, {image.n_segments} segments\n")
 
-    for backend in ("cpu", "gpu"):
-        label = "Shredder-GPU" if backend == "gpu" else "Pthreads-CPU"
+    for engine in ("cpu", "gpu"):
+        label = "Shredder-GPU" if engine == "gpu" else "Pthreads-CPU"
         print(f"{label} backup pipeline:")
-        with BackupServer(BackupConfig(backend=backend)) as server:
+        with BackupServer(BackupConfig(engine=engine)) as server:
             base = server.backup_snapshot(image.data, "master")
             print(f"  master backup: {base.n_chunks} chunks, "
                   f"{base.shipped_bytes // 1024} KiB shipped")
             for generation, p in enumerate((0.05, 0.15, 0.25), start=1):
                 table = SimilarityTable.uniform(p, image.n_segments)
                 snap = image.snapshot(table, generation)
-                snap_id = f"{backend}-gen{generation}"
+                snap_id = f"{engine}-gen{generation}"
                 report = server.backup_snapshot(snap, snap_id)
                 restored = server.agent.restore(snap_id)
                 assert restored == snap, "backup-site reconstruction failed"
@@ -41,7 +41,7 @@ def main() -> None:
             store = server.agent.store
             logical = sum(
                 store.get_recipe(r).total_bytes
-                for r in [f"{backend}-gen{g}" for g in (1, 2, 3)] + ["master"]
+                for r in [f"{engine}-gen{g}" for g in (1, 2, 3)] + ["master"]
             )
             print(f"  backup-site store: {store.stored_bytes / MB:.1f} MiB physical "
                   f"for {logical / MB:.1f} MiB logical\n")

@@ -27,6 +27,14 @@ the optimization §7.3's closing discussion points at: the per-digest
 dispatch cost amortizes over the batch and negative lookups stop
 paying the full-index miss price.
 
+With ``backend="disk"`` (or ``REPRO_STORE_BACKEND=disk``) every state
+owner — the dedup index, the site store or cluster shards, and the
+recipes — lives on the persistent log+LSM backend under ``data_dir``
+(``index/``, ``site/`` or ``cluster/``), so a server can be closed and
+a new one opened on the same ``data_dir``: every snapshot restores
+bit-identical and the reopened index/cluster answer ``lookup_batch``
+with the same hit/miss pattern as before the restart.
+
 With ``pipelined=True`` (the default) the server *executes* as the
 paper's pipeline instead of running stage-at-a-time: chunks arrive in
 digested batches from a bounded scan→hash pipeline
@@ -44,10 +52,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from pathlib import Path
+
 from repro.backup.agent import ShredderAgent, TransferLog
+from repro.backup.store import ChunkStore
 from repro.core.chunking import ChunkerConfig, ensure_digests
 from repro.core.dedup import DedupIndex
 from repro.core.shredder import Shredder, ShredderConfig
+from repro.store.backend import make_backend, resolve_backend
 from repro.store.cluster import ChunkStoreCluster
 from repro.store.lookup import BatchLookupStats, LookupCostModel
 from repro.store.schemes import make_scheme
@@ -67,7 +79,16 @@ class BackupConfig:
     """Backup-server configuration."""
 
     chunker: ChunkerConfig = field(default_factory=_default_backup_chunker)
-    backend: str = "gpu"  # "gpu" (Shredder) | "cpu" (pthreads baseline)
+    #: Chunking engine: "gpu" (Shredder) | "cpu" (pthreads baseline).
+    engine: str = "gpu"
+    #: Storage backend for every state owner (dedup index, site store /
+    #: cluster shards, recipes): "memory" | "disk"; ``None`` follows
+    #: ``REPRO_STORE_BACKEND`` (default memory, or disk when a
+    #: ``data_dir`` is given).
+    backend: str | None = None
+    #: Root directory for disk-backed state; ``None`` + disk backend
+    #: runs on ephemeral temp directories (removed on close).
+    data_dir: str | None = None
     #: Snapshot generation / reader rate (the paper emulates 10 Gbps).
     generation_bandwidth: float = 10 * GBPS
     #: Network link to the backup site.
@@ -104,8 +125,9 @@ class BackupConfig:
     pipeline_batch_chunks: int | None = None
 
     def __post_init__(self) -> None:
-        if self.backend not in ("gpu", "cpu"):
-            raise ValueError(f"unknown backend {self.backend!r}")
+        if self.engine not in ("gpu", "cpu"):
+            raise ValueError(f"unknown engine {self.engine!r}")
+        resolve_backend(self.backend, self.data_dir)  # raises on bad kind
         if self.store_backend not in ("single", "cluster"):
             raise ValueError(f"unknown store backend {self.store_backend!r}")
         if self.cluster_nodes < 1:
@@ -159,8 +181,12 @@ class BackupServer:
         agent: ShredderAgent | None = None,
     ) -> None:
         self.config = config or BackupConfig()
+        cfg = self.config
+        self.storage_kind = resolve_backend(cfg.backend, cfg.data_dir)
+        data_dir = Path(cfg.data_dir) if cfg.data_dir is not None else None
         self.cluster: ChunkStoreCluster | None = None
-        if self.config.store_backend == "cluster":
+        self._owns_store = agent is None
+        if cfg.store_backend == "cluster":
             if agent is not None:
                 # An agent carries its own site store; pairing it with
                 # the cluster would ship chunks past the store the
@@ -169,7 +195,6 @@ class BackupServer:
                     "store_backend='cluster' manages its own backup-site "
                     "agent; do not pass one"
                 )
-            cfg = self.config
             self.cluster = ChunkStoreCluster(
                 n_nodes=cfg.cluster_nodes,
                 scheme=make_scheme(
@@ -185,11 +210,32 @@ class BackupServer:
                     bloom_probe_s=cfg.bloom_probe_s,
                     batch_rtt_s=cfg.batch_rtt_s,
                 ),
+                backend=self.storage_kind,
+                data_dir=data_dir / "cluster" if data_dir is not None else None,
             )
             agent = ShredderAgent(store=self.cluster)
-        self.agent = agent or ShredderAgent()
-        self.index = DedupIndex()
-        if self.config.backend == "gpu":
+        elif agent is None:
+            agent = ShredderAgent(
+                store=ChunkStore(
+                    backend=self.storage_kind,
+                    data_dir=data_dir / "site" if data_dir is not None else None,
+                )
+            )
+        elif cfg.backend is not None or cfg.data_dir is not None:
+            # The caller's agent carries its own store; silently ignoring
+            # the requested storage backend would fake durability.
+            raise ValueError(
+                "an explicit agent carries its own store; do not also "
+                "request backend/data_dir"
+            )
+        self.agent = agent
+        self.index = DedupIndex(
+            make_backend(
+                self.storage_kind,
+                data_dir / "index" if data_dir is not None else None,
+            )
+        )
+        if self.config.engine == "gpu":
             shredder_config = ShredderConfig.gpu_streams_memory(
                 chunker=self.config.chunker
             )
@@ -206,6 +252,11 @@ class BackupServer:
 
     def close(self) -> None:
         self.shredder.close()
+        self.index.close()
+        if self.cluster is not None:
+            self.cluster.close()
+        elif self._owns_store:
+            self.agent.store.close()
 
     def __enter__(self) -> "BackupServer":
         return self
@@ -248,7 +299,19 @@ class BackupServer:
             # identical dedup statistics.
             self.index.lookup_or_insert_batch(batch)
             return decisions
-        return [is_dup for is_dup, _ in self.index.lookup_or_insert_batch(batch)]
+        decisions = []
+        for chunk, (is_dup, _) in zip(
+            batch, self.index.lookup_or_insert_batch(batch)
+        ):
+            if is_dup and not self.agent.store.has_chunk(chunk.digest):
+                # The index outlived the store (GC reclaimed the chunk,
+                # or a persistent index reopened against a sparser site
+                # dir): shipping a pointer would crash the agent.
+                # Re-ship the payload instead — the cluster path gets
+                # this for free by probing the store itself.
+                is_dup = False
+            decisions.append(is_dup)
+        return decisions
 
     def backup_snapshot(self, data: bytes, snapshot_id: str) -> BackupReport:
         """Deduplicate and ship one image snapshot to the backup site.
@@ -300,7 +363,7 @@ class BackupServer:
 
         n = len(data)
         chunk_seconds = n * self._chunk_s_per_byte
-        if cfg.backend == "gpu" and (
+        if cfg.engine == "gpu" and (
             cfg.chunker.min_size > 0 or cfg.chunker.max_size is not None
         ):
             chunk_seconds += n * cfg.minmax_filter_s_per_byte

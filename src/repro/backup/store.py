@@ -1,8 +1,25 @@
-"""Backup-site chunk store and snapshot recipes."""
+"""Backup-site chunk store and snapshot recipes.
+
+State lives on pluggable :class:`~repro.store.backend.ChunkBackend`
+instances — one for chunk payloads (digest -> bytes), one for recipes —
+so the backup site can run fully in memory (default) or durably on
+disk (``backend="disk"`` + ``data_dir``): an append-only chunk log with
+an LSM digest index that survives process restarts and recovers from a
+torn final record by truncating to the last valid frame.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.store.backend import (
+    ChunkBackend,
+    RecipeStore,
+    make_backend,
+    resolve_backend,
+)
 
 __all__ = ["ChunkStore", "SnapshotRecipe"]
 
@@ -16,80 +33,121 @@ class SnapshotRecipe:
     total_bytes: int
 
 
-@dataclass
 class ChunkStore:
     """Content-addressed chunk storage at the backup site.
 
     Chunks are stored once per digest; recipes reference them.  This is
     the state the Shredder agent (§7.2) rebuilds snapshots from.
+
+    ``backend="memory"`` (default) keeps everything in-process;
+    ``backend="disk"`` persists chunks under ``data_dir/chunks`` and
+    recipes under ``data_dir/recipes`` so ``ChunkStore(backend="disk",
+    data_dir=...)`` reopens the store bit-identical after a restart.
     """
 
-    _chunks: dict[bytes, bytes] = field(default_factory=dict)
-    _recipes: dict[str, SnapshotRecipe] = field(default_factory=dict)
+    def __init__(
+        self,
+        backend: str | None = None,
+        data_dir: str | os.PathLike | None = None,
+        chunks_backend: ChunkBackend | None = None,
+        recipes_backend: ChunkBackend | None = None,
+    ) -> None:
+        kind = resolve_backend(backend, data_dir)
+        base = Path(data_dir) if data_dir is not None else None
+        self.backend_kind = kind
+        self._chunks = chunks_backend or make_backend(
+            kind, base / "chunks" if base is not None else None
+        )
+        self._recipes = RecipeStore(
+            recipes_backend
+            or make_backend(kind, base / "recipes" if base is not None else None)
+        )
 
     def put_chunk(self, digest: bytes, data: bytes) -> bool:
         """Store a chunk; returns False if it was already present."""
-        if digest in self._chunks:
-            return False
-        self._chunks[digest] = bytes(data)
-        return True
+        return self._chunks.put_batch([(digest, data)])[0]
 
     def has_chunk(self, digest: bytes) -> bool:
-        return digest in self._chunks
+        return self._chunks.contains_batch([digest])[0]
 
     def get_chunk(self, digest: bytes) -> bytes:
-        try:
-            return self._chunks[digest]
-        except KeyError:
-            raise KeyError(f"chunk {digest.hex()[:16]} missing from store") from None
+        data = self._chunks.get_batch([digest])[0]
+        if data is None:
+            raise KeyError(f"chunk {digest.hex()[:16]} missing from store")
+        return data
 
     def put_recipe(self, recipe: SnapshotRecipe) -> None:
-        if recipe.snapshot_id in self._recipes:
-            raise ValueError(f"snapshot {recipe.snapshot_id!r} already stored")
-        missing = [d for d in recipe.digests if d not in self._chunks]
+        # RecipeStore.put rejects duplicates; only the chunk-presence
+        # invariant is this store's to enforce.
+        present = self._chunks.contains_batch(recipe.digests)
+        missing = [d for d, ok in zip(recipe.digests, present) if not ok]
         if missing:
             raise ValueError(
                 f"recipe {recipe.snapshot_id!r} references {len(missing)} "
                 "missing chunks"
             )
-        self._recipes[recipe.snapshot_id] = recipe
+        self._recipes.put(recipe)
 
     def get_recipe(self, snapshot_id: str) -> SnapshotRecipe:
-        try:
-            return self._recipes[snapshot_id]
-        except KeyError:
-            raise KeyError(f"no snapshot {snapshot_id!r}") from None
+        return self._recipes.get(snapshot_id)
 
     def restore(self, snapshot_id: str) -> bytes:
-        """Reassemble a snapshot from its recipe (the agent's job)."""
+        """Reassemble a snapshot from its recipe (the agent's job).
+
+        The whole recipe resolves in one batched read — on a persistent
+        store that is one index probe pass plus sequential-ish log reads
+        instead of a per-chunk round trip.
+        """
         recipe = self.get_recipe(snapshot_id)
-        return b"".join(self.get_chunk(d) for d in recipe.digests)
+        payloads = self._chunks.get_batch(recipe.digests)
+        for digest, payload in zip(recipe.digests, payloads):
+            if payload is None:
+                raise KeyError(
+                    f"chunk {digest.hex()[:16]} missing from store"
+                )
+        return b"".join(payloads)
 
     def delete_recipe(self, snapshot_id: str) -> None:
         """Drop a snapshot's recipe (retention expiry).  Chunks remain
         until :meth:`garbage_collect` runs."""
-        if snapshot_id not in self._recipes:
-            raise KeyError(f"no snapshot {snapshot_id!r}")
-        del self._recipes[snapshot_id]
+        self._recipes.delete(snapshot_id)
 
     def garbage_collect(self) -> int:
         """Delete chunks referenced by no recipe; returns bytes freed.
 
         Mark-and-sweep over the recipe set — the standard reclamation a
         deduplicating backup store needs once snapshots expire (the
-        "reference management burden" [24] discusses).
+        "reference management burden" [24] discusses).  On a persistent
+        store the sweep also compacts the chunk log, reclaiming the
+        dead records' disk space.
         """
-        live: set[bytes] = set()
-        for recipe in self._recipes.values():
-            live.update(recipe.digests)
-        freed = 0
-        for digest in [d for d in self._chunks if d not in live]:
-            freed += len(self._chunks.pop(digest))
+        live = self._recipes.live_digests()
+        dead = [d for d in self._chunks.keys() if d not in live]
+        freed = sum(self._chunks.delete_batch(dead))
+        self._chunks.compact()
         return freed
+
+    # -- lifecycle -----------------------------------------------------
+
+    def flush(self) -> None:
+        self._chunks.flush()
+        self._recipes.flush()
+
+    def close(self) -> None:
+        self._chunks.close()
+        self._recipes.close()
+
+    def __enter__(self) -> "ChunkStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- accounting ----------------------------------------------------
 
     @property
     def stored_bytes(self) -> int:
-        return sum(len(c) for c in self._chunks.values())
+        return self._chunks.value_bytes
 
     @property
     def chunk_count(self) -> int:

@@ -10,7 +10,9 @@ Commands
 ``table1``          the simulated GPU's Table 1 characteristics
 ``backup FILE``     one-shot dedup backup of FILE against itself + stats
 ``cluster FILE``    dedup backup through the sharded chunk-store cluster,
-                    with optional node-failure + repair drill
+                    with optional node-failure + repair drill; ``--backend
+                    disk --data-dir DIR`` persists every shard/recipe so a
+                    later run reopens them
 ``tune``            measure + persist the striped-scan geometry for this
                     host (tile size, lanes, fused roll steps, threads)
 """
@@ -92,7 +94,7 @@ def _print_profile(n_bytes: int, seconds: float) -> None:
         "Pipeline stage split",
         ["Stage", "Seconds", "% of wall", "MiB/s"],
         )
-    for name in ("scan", "hash", "lookup"):
+    for name in ("scan", "hash", "lookup", "store"):
         spent = stage_times().get(name, 0.0)
         table.add(
             name, f"{spent:.3f}",
@@ -232,15 +234,42 @@ def cmd_table1(args) -> int:
     return 0
 
 
+def _free_snapshot_id(store, base: str = "cli") -> str:
+    """First unused CLI snapshot id in ``store``.
+
+    A reopened persistent store already holds earlier runs' snapshots;
+    re-using their id would (correctly) be rejected by the recipe store,
+    so successive CLI runs get ``cli``, ``cli-2``, ``cli-3``, ...
+    """
+    sid, n = base, 1
+    while True:
+        try:
+            store.get_recipe(sid)
+        except KeyError:
+            return sid
+        n += 1
+        sid = f"{base}-{n}"
+
+
 def cmd_backup(args) -> int:
     from repro.backup import BackupConfig, BackupServer
 
     _apply_threads(args)
     data = _read(args.file)
-    with BackupServer(BackupConfig(backend=args.backend)) as server:
-        report = server.backup_snapshot(data, "cli")
-        restored = server.agent.restore("cli")
+    try:
+        config = BackupConfig(
+            engine=args.engine, backend=args.backend, data_dir=args.data_dir
+        )
+    except ValueError as exc:
+        raise SystemExit(f"backup config rejected: {exc}")
+    with BackupServer(config) as server:
+        snapshot_id = _free_snapshot_id(server.agent.store)
+        report = server.backup_snapshot(data, snapshot_id)
+        restored = server.agent.restore(snapshot_id)
     assert restored == data
+    if args.data_dir:
+        print(f"persistent store: {args.data_dir} ({server.storage_kind}), "
+              f"stored as snapshot {snapshot_id!r}")
     print(f"backed up {report.total_bytes} B as {report.n_chunks} chunks")
     print(f"  shipped {report.shipped_bytes} B "
           f"({report.dedup_fraction:.1%} duplicate chunks)")
@@ -257,7 +286,9 @@ def cmd_cluster(args) -> int:
     data = _read(args.file)
     try:
         config = BackupConfig(
+            engine=args.engine,
             backend=args.backend,
+            data_dir=args.data_dir,
             store_backend="cluster",
             cluster_nodes=args.nodes,
             placement=args.placement,
@@ -268,9 +299,15 @@ def cmd_cluster(args) -> int:
     except (ValueError, LookupError) as exc:
         raise SystemExit(f"cluster config rejected: {exc}")
     with server:
-        report = server.backup_snapshot(data, "cli")
+        snapshot_id = _free_snapshot_id(server.cluster)
+        report = server.backup_snapshot(data, snapshot_id)
         cluster = server.cluster
         stats = report.lookup_stats
+        if args.data_dir:
+            print(f"persistent shards under {args.data_dir} "
+                  f"({server.storage_kind} backend, snapshot "
+                  f"{snapshot_id!r}; reopen with the same --nodes "
+                  "to restore)")
         print(f"backed up {report.total_bytes} B as {report.n_chunks} chunks "
               f"across {cluster.n_nodes_alive} nodes "
               f"({args.placement}, r={args.replication})")
@@ -301,7 +338,7 @@ def cmd_cluster(args) -> int:
                       f"{'y' if cluster.scheme.copies == 1 else 'ies'} per "
                       "chunk cannot survive a node loss)")
                 return 1
-        restored = server.agent.restore("cli")
+        restored = server.agent.restore(snapshot_id)
     assert restored == data
     print("  restore verified byte-exact")
     return 0
@@ -371,6 +408,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker threads for the scan + hash pools "
                        "(0/1 = serial; default: REPRO_THREADS or CPU count)")
 
+    def add_storage_args(p):
+        p.add_argument("--engine", choices=("gpu", "cpu"), default="gpu",
+                       help="chunking engine (Shredder GPU model or "
+                       "pthreads CPU baseline)")
+        p.add_argument("--backend", choices=("memory", "disk"), default=None,
+                       help="storage backend for the index/store state "
+                       "(default: REPRO_STORE_BACKEND or memory; disk = "
+                       "append-only chunk log + LSM digest index)")
+        p.add_argument("--data-dir", default=None, metavar="DIR",
+                       help="directory for disk-backed state; reopening "
+                       "the same DIR restores every snapshot and dedup "
+                       "decision (implies --backend disk)")
+
     p_chunk = sub.add_parser("chunk", help="content-based chunking of a file")
     p_chunk.add_argument("file")
     p_chunk.add_argument("--all", action="store_true", help="print every chunk")
@@ -396,7 +446,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_backup = sub.add_parser("backup", help="one-shot dedup backup of a file")
     p_backup.add_argument("file")
-    p_backup.add_argument("--backend", choices=("gpu", "cpu"), default="gpu")
+    add_storage_args(p_backup)
     add_threads_arg(p_backup)
     p_backup.set_defaults(fn=cmd_backup)
 
@@ -404,7 +454,7 @@ def build_parser() -> argparse.ArgumentParser:
         "cluster", help="dedup backup through the sharded chunk-store cluster"
     )
     p_cluster.add_argument("file")
-    p_cluster.add_argument("--backend", choices=("gpu", "cpu"), default="gpu")
+    add_storage_args(p_cluster)
     p_cluster.add_argument("--nodes", type=int, default=4,
                            help="store nodes on the consistent-hash ring")
     p_cluster.add_argument("--placement",

@@ -1,29 +1,47 @@
 """Chunk matching (step 3 of duplicate identification, §2.1).
 
-A minimal in-memory dedup index: maps chunk digests to stored-chunk
-metadata and answers "is this chunk new?".  Both case studies build on
-this — the backup server (§7) feeds digests through a lookup queue and
-ships either chunk data or a pointer, and Inc-HDFS (§6) uses digests as
-memoization keys.
+The dedup index maps chunk digests to stored-chunk metadata and answers
+"is this chunk new?".  Both case studies build on this — the backup
+server (§7) feeds digests through a lookup queue and ships either chunk
+data or a pointer, and Inc-HDFS (§6) uses digests as memoization keys.
+
+The probe surface is batched-only: ``lookup_batch`` (read-only) and
+``lookup_or_insert_batch`` (the stateful backup flow).  The per-chunk
+server loop PR 1 deprecated is gone — one call site per batch is the
+shape the cluster lookup path and the §7.3 cost model already charge.
+
+State lives on a pluggable :class:`~repro.store.backend.ChunkBackend`
+(digest -> canonical offset): in-memory by default, or the persistent
+log+LSM backend (``backend="disk"``) so an index can be closed,
+reopened from its ``data_dir``, and answer ``lookup_batch`` with the
+same hit/miss pattern — the realistic index-miss cost model the ROADMAP
+asked for.  Effectiveness counters (:class:`DedupStats`) describe the
+*current process's* traffic and intentionally reset on reopen.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
 
-from repro.core.chunking import Chunk
+from repro.store.backend import make_backend
+
+if TYPE_CHECKING:
+    from repro.core.chunking import Chunk
+    from repro.store.backend import ChunkBackend
 
 __all__ = ["DedupIndex", "DedupStats"]
+
+_OFFSET_BYTES = 8  # canonical offsets ride the backend as u64 values
 
 
 def _record_lookup(seconds: float) -> None:
     """Feed batched-probe wall-clock to the ``lookup`` stage timer.
 
     Lazy import: stats sits above chunking (hence above this module) in
-    the import graph.  Only the batched entry points are timed — the
-    per-chunk path is too fine-grained to meter without distorting it.
+    the import graph.  Only the probe side is metered here — backend
+    mutations time themselves into the ``store`` stage.
     """
     from repro.core import stats
 
@@ -55,37 +73,36 @@ class DedupStats:
         return self.duplicate_bytes / self.total_bytes
 
 
-@dataclass
 class DedupIndex:
-    """Digest -> first-seen chunk location index.
+    """Digest -> first-seen chunk location index over a ChunkBackend.
 
-    ``lookup_or_insert`` returns ``(is_duplicate, canonical_offset)``:
-    duplicates report the offset at which the content was first stored.
+    ``backend`` may be a ready :class:`~repro.store.backend.ChunkBackend`
+    instance, a kind string (``"memory"`` / ``"disk"``), or ``None`` to
+    follow ``REPRO_STORE_BACKEND`` (default memory).  ``data_dir``
+    places a disk index; without it a disk index is ephemeral.
     """
 
-    _index: dict[bytes, int] = field(default_factory=dict)
-    stats: DedupStats = field(default_factory=DedupStats)
+    def __init__(
+        self,
+        backend: "ChunkBackend | str | None" = None,
+        *,
+        data_dir=None,
+        stats: DedupStats | None = None,
+    ) -> None:
+        if backend is None or isinstance(backend, str):
+            backend = make_backend(backend, data_dir)
+        self._backend = backend
+        self.stats = stats or DedupStats()
+
+    @property
+    def backend(self) -> "ChunkBackend":
+        return self._backend
 
     def __len__(self) -> int:
-        return len(self._index)
+        return len(self._backend)
 
     def __contains__(self, digest: bytes) -> bool:
-        return digest in self._index
-
-    def lookup(self, digest: bytes) -> int | None:
-        """Offset of the canonical copy, or ``None`` if unseen."""
-        return self._index.get(digest)
-
-    def lookup_or_insert(self, chunk: Chunk) -> tuple[bool, int]:
-        self.stats.total_chunks += 1
-        self.stats.total_bytes += chunk.length
-        existing = self._index.get(chunk.digest)
-        if existing is not None:
-            return True, existing
-        self._index[chunk.digest] = chunk.offset
-        self.stats.unique_chunks += 1
-        self.stats.unique_bytes += chunk.length
-        return False, chunk.offset
+        return self._backend.contains_batch([digest])[0]
 
     def lookup_batch(self, digests: Iterable[bytes]) -> list[int | None]:
         """Resolve many digests against the current index in one call.
@@ -97,26 +114,69 @@ class DedupIndex:
         :meth:`lookup_or_insert_batch` for the stateful backup flow.
         """
         t0 = time.perf_counter()
-        index = self._index
-        result = [index.get(d) for d in digests]
+        found = self._backend.get_batch(list(digests))
+        result = [
+            None if v is None else int.from_bytes(v, "big") for v in found
+        ]
         _record_lookup(time.perf_counter() - t0)
         return result
 
-    def lookup_or_insert_batch(self, chunks: Sequence[Chunk]) -> list[tuple[bool, int]]:
-        """Batched :meth:`lookup_or_insert` over a chunk sequence.
+    def lookup_or_insert_batch(self, chunks: Sequence["Chunk"]) -> list[tuple[bool, int]]:
+        """Batched lookup-or-insert over a chunk sequence.
 
-        Semantically identical to the per-chunk loop the backup server
-        used to run — intra-batch duplicates resolve against earlier
-        chunks of the same batch — but gives callers one call site to
-        amortize, keeping the single-node and cluster paths symmetric.
+        Returns ``(is_duplicate, canonical_offset)`` per chunk:
+        duplicates report the offset at which the content was first
+        stored, and intra-batch duplicates resolve against earlier
+        chunks of the same batch — identical semantics to the retired
+        per-chunk server loop, amortized over one probe and one insert
+        per batch.
         """
         t0 = time.perf_counter()
-        result = [self.lookup_or_insert(chunk) for chunk in chunks]
-        _record_lookup(time.perf_counter() - t0)
+        stats = self.stats
+        digests = [chunk.digest for chunk in chunks]
+        found = self._backend.get_batch(digests)
+        probe_seconds = time.perf_counter() - t0
+        result: list[tuple[bool, int]] = []
+        batch_first: dict[bytes, int] = {}
+        new_items: list[tuple[bytes, bytes]] = []
+        for chunk, digest, value in zip(chunks, digests, found):
+            stats.total_chunks += 1
+            stats.total_bytes += chunk.length
+            if value is not None:
+                result.append((True, int.from_bytes(value, "big")))
+                continue
+            first = batch_first.get(digest)
+            if first is not None:
+                result.append((True, first))
+                continue
+            batch_first[digest] = chunk.offset
+            new_items.append((digest, chunk.offset.to_bytes(_OFFSET_BYTES, "big")))
+            stats.unique_chunks += 1
+            stats.unique_bytes += chunk.length
+            result.append((False, chunk.offset))
+        if new_items:
+            # known_absent: get_batch just proved these misses, and
+            # batch_first made the keys unique — the backend skips the
+            # second probe, so a miss costs one index walk, not two.
+            self._backend.put_batch(new_items, known_absent=True)
+        _record_lookup(probe_seconds)
         return result
 
     def add_all(self, chunks) -> DedupStats:
         """Feed a chunk sequence through the index; returns the stats."""
-        for chunk in chunks:
-            self.lookup_or_insert(chunk)
+        self.lookup_or_insert_batch(list(chunks))
         return self.stats
+
+    # -- lifecycle -----------------------------------------------------
+
+    def flush(self) -> None:
+        self._backend.flush()
+
+    def close(self) -> None:
+        self._backend.close()
+
+    def __enter__(self) -> "DedupIndex":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,13 +1,25 @@
 """Sharded content-addressed chunk-store cluster (scale-out backup site).
 
-Layers, bottom up: :mod:`~repro.store.ring` (consistent hashing),
-:mod:`~repro.store.bloom` (negative-lookup filters),
+Layers, bottom up: :mod:`~repro.store.backend` (the batched
+``ChunkBackend`` storage protocol — in-memory and persistent log+LSM —
+behind every state owner), :mod:`~repro.store.ring` (consistent
+hashing), :mod:`~repro.store.bloom` (negative-lookup filters),
 :mod:`~repro.store.node` (per-shard stores), :mod:`~repro.store.schemes`
 (pluggable placement), :mod:`~repro.store.lookup` (batched async
 probes), :mod:`~repro.store.cluster` (the ChunkStore-compatible facade
-with failure recovery and cluster-wide GC).
+with failure recovery, persistence, and cluster-wide GC).
 """
 
+from repro.store.backend import (
+    BackendStats,
+    ChunkBackend,
+    MemoryBackend,
+    PersistentBackend,
+    RecipeStore,
+    RecoveryReport,
+    make_backend,
+    resolve_backend,
+)
 from repro.store.bloom import BloomFilter
 from repro.store.cluster import (
     ChunkStoreCluster,
@@ -27,6 +39,14 @@ from repro.store.schemes import (
 )
 
 __all__ = [
+    "BackendStats",
+    "ChunkBackend",
+    "MemoryBackend",
+    "PersistentBackend",
+    "RecipeStore",
+    "RecoveryReport",
+    "make_backend",
+    "resolve_backend",
     "BloomFilter",
     "ChunkStoreCluster",
     "MigrationReport",

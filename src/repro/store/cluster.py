@@ -13,13 +13,27 @@ The cluster exposes the same duck-typed surface as the single-node
 backup-site :class:`~repro.backup.agent.ShredderAgent` runs against
 either backend unchanged — that is what makes the single-node and
 cluster backup paths byte-identical.
+
+Storage is pluggable per shard (:mod:`repro.store.backend`):
+``backend="memory"`` (default) keeps every node in-process;
+``backend="disk"`` with a ``data_dir`` gives each node an append-only
+chunk log + LSM digest index under ``data_dir/<node_id>`` and persists
+recipes under ``data_dir/recipes``, so the cluster can be closed, the
+process restarted, and ``ChunkStoreCluster(..., backend="disk",
+data_dir=...)`` reopens every shard, recipe, and lookup answer
+bit-identical.  Reopen with the same membership you closed with; after
+reopening a cluster whose ring changed mid-life (decommission, resize),
+run ``repair()``/``rebalance()`` to realign placements.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
+from pathlib import Path
 from typing import TYPE_CHECKING
 
+from repro.store.backend import RecipeStore, make_backend, resolve_backend
 from repro.store.lookup import BatchedLookup, BatchLookupStats, LookupCostModel
 from repro.store.node import StoreNode
 from repro.store.ring import DEFAULT_VNODES, HashRing
@@ -84,21 +98,30 @@ class ChunkStoreCluster:
         batch_size: int = 128,
         cost_model: LookupCostModel | None = None,
         node_prefix: str = "node",
+        backend: str | None = None,
+        data_dir: str | os.PathLike | None = None,
     ) -> None:
         if n_nodes < 1:
             raise ValueError("n_nodes must be >= 1")
+        self.backend_kind = resolve_backend(backend, data_dir)
+        self.data_dir = Path(data_dir) if data_dir is not None else None
         self.scheme = scheme or ReplicatedPlacement(min(2, n_nodes))
         self.ring = HashRing(vnodes=vnodes)
         self._nodes: dict[str, StoreNode] = {}
         self._bloom_capacity = bloom_capacity
         self._bloom_fp_rate = bloom_fp_rate
-        self._recipes: dict[str, SnapshotRecipe] = {}
+        self._recipes = RecipeStore(self._make_backend("recipes"))
+        self._closed = False
         for i in range(n_nodes):
             self.add_node(f"{node_prefix}-{i}")
         self.scheme.validate(self.ring)
         self.lookup = BatchedLookup(
             self.ring, self.scheme, self._nodes, batch_size, cost_model
         )
+
+    def _make_backend(self, name: str):
+        path = self.data_dir / name if self.data_dir is not None else None
+        return make_backend(self.backend_kind, path)
 
     # -- node plumbing -------------------------------------------------
 
@@ -147,21 +170,18 @@ class ChunkStoreCluster:
         return node.get_chunk(digest)
 
     def put_recipe(self, recipe: SnapshotRecipe) -> None:
-        if recipe.snapshot_id in self._recipes:
-            raise ValueError(f"snapshot {recipe.snapshot_id!r} already stored")
+        # RecipeStore.put rejects duplicates; only the chunk-presence
+        # invariant is the cluster's to enforce.
         missing = [d for d in recipe.digests if not self.has_chunk(d)]
         if missing:
             raise ValueError(
                 f"recipe {recipe.snapshot_id!r} references {len(missing)} "
                 "missing chunks"
             )
-        self._recipes[recipe.snapshot_id] = recipe
+        self._recipes.put(recipe)
 
     def get_recipe(self, snapshot_id: str) -> SnapshotRecipe:
-        try:
-            return self._recipes[snapshot_id]
-        except KeyError:
-            raise KeyError(f"no snapshot {snapshot_id!r}") from None
+        return self._recipes.get(snapshot_id)
 
     def restore(self, snapshot_id: str) -> bytes:
         """Reassemble a snapshot, pulling each chunk from any replica."""
@@ -169,20 +189,17 @@ class ChunkStoreCluster:
         return b"".join(self.get_chunk(d) for d in recipe.digests)
 
     def delete_recipe(self, snapshot_id: str) -> None:
-        if snapshot_id not in self._recipes:
-            raise KeyError(f"no snapshot {snapshot_id!r}")
-        del self._recipes[snapshot_id]
+        self._recipes.delete(snapshot_id)
 
     def garbage_collect(self) -> int:
         """Cluster-wide mark-and-sweep; returns physical bytes freed.
 
         Marks every digest referenced by any recipe, then sweeps each
         alive node (which rebuilds its Bloom filter, since filters
-        cannot unlearn deleted keys).
+        cannot unlearn deleted keys, and compacts the node's chunk log
+        on persistent backends).
         """
-        live: set[bytes] = set()
-        for recipe in self._recipes.values():
-            live.update(recipe.digests)
+        live = self._recipes.live_digests()
         return sum(node.sweep(live) for node in self._alive_nodes())
 
     # -- batched lookup ------------------------------------------------
@@ -206,13 +223,17 @@ class ChunkStoreCluster:
 
     def add_node(self, node_id: str | None = None) -> str:
         """Register a fresh node on the ring; no data moves until
-        :meth:`rebalance` runs."""
+        :meth:`rebalance` runs.  On a disk cluster the node's backend
+        opens (or reopens) ``data_dir/<node_id>``."""
         if node_id is None:
             node_id = f"node-{len(self._nodes)}"
         if node_id in self._nodes:
             raise ValueError(f"node {node_id!r} already exists")
         self._nodes[node_id] = StoreNode(
-            node_id, self._bloom_capacity, self._bloom_fp_rate
+            node_id,
+            self._bloom_capacity,
+            self._bloom_fp_rate,
+            backend=self._make_backend(node_id),
         )
         self.ring.add_node(node_id)
         return node_id
@@ -251,9 +272,7 @@ class ChunkStoreCluster:
         replica are reported as unrecoverable (the data is gone; the
         snapshot cannot be restored).
         """
-        live: set[bytes] = set()
-        for recipe in self._recipes.values():
-            live.update(recipe.digests)
+        live = self._recipes.live_digests()
         report = RepairReport(chunks_scanned=len(live))
         lost: list[bytes] = []
         for digest in live:
@@ -296,6 +315,34 @@ class ChunkStoreCluster:
             return self._nodes[node_id]
         except KeyError:
             raise KeyError(f"no node {node_id!r}") from None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def flush(self) -> None:
+        """Push buffered log records on every shard (disk backends)."""
+        for node in self._alive_nodes():
+            node.flush()
+        self._recipes.flush()
+
+    def close(self) -> None:
+        """Close every shard backend and the recipe store.
+
+        On a disk cluster this persists the memtables, so a subsequent
+        ``ChunkStoreCluster(backend="disk", data_dir=...)`` with the
+        same membership reopens without replaying the logs.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for node in self._nodes.values():
+            node.close()
+        self._recipes.close()
+
+    def __enter__(self) -> "ChunkStoreCluster":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- accounting ----------------------------------------------------
 

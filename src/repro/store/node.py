@@ -1,11 +1,20 @@
 """One store node: a content-addressed chunk shard with a Bloom front-end.
 
-Each node owns an arc of the consistent-hash ring and keeps its own
-digest -> payload map plus a Bloom filter that short-circuits negative
-membership probes.  Probe outcomes are classified so the batched lookup
-path (:mod:`repro.store.lookup`) can charge the §7.3 timing model
+Each node owns an arc of the consistent-hash ring and keeps its shard
+contents on a pluggable :class:`~repro.store.backend.ChunkBackend`
+(digest -> payload; in-memory by default, the persistent log+LSM
+backend when the cluster is opened with ``backend="disk"``), plus a
+Bloom filter that short-circuits negative membership probes.  Probe
+outcomes are classified so the batched lookup path
+(:mod:`repro.store.lookup`) can charge the §7.3 timing model
 per-outcome: Bloom negatives never touch the index, false positives pay
 the full miss cost, hits pay the hit cost.
+
+The filter is a live front-end, not a fixture: its fill ratio is
+tracked in :class:`NodeStats`, and once insertions reach the sized
+capacity the filter is rebuilt at twice the size (``bloom_rebuilds``
+counts these), so the false-positive rate stays near the configured
+target on long-lived shards instead of climbing unboundedly.
 """
 
 from __future__ import annotations
@@ -13,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
+from repro.store.backend import ChunkBackend, make_backend
 from repro.store.bloom import BloomFilter
 
 __all__ = ["NodeDownError", "NodeStats", "ProbeResult", "StoreNode"]
@@ -37,27 +47,49 @@ class NodeStats:
     hits: int = 0
     bloom_negatives: int = 0
     false_positives: int = 0
+    #: Filter maintenance: current fill (keys added / sized capacity)
+    #: and how many times saturation forced a doubled rebuild.  Routine
+    #: rebuilds (post-sweep, reopen seeding) are not counted — this is
+    #: the saturation signal, not a rebuild odometer.
+    bloom_fill_ratio: float = 0.0
+    bloom_rebuilds: int = 0
 
 
 class StoreNode:
-    """In-memory chunk shard; the unit of failure and recovery."""
+    """Chunk shard over a pluggable backend; the unit of failure."""
 
     def __init__(
         self,
         node_id: str,
         bloom_capacity: int = 1 << 14,
         bloom_fp_rate: float = 0.01,
+        backend: ChunkBackend | None = None,
     ) -> None:
         self.node_id = node_id
         self.alive = True
         self.stats = NodeStats()
         self._bloom_fp_rate = bloom_fp_rate
-        self._chunks: dict[bytes, bytes] = {}
+        self._backend = backend if backend is not None else make_backend()
         self._bloom = BloomFilter(bloom_capacity, bloom_fp_rate)
+        if len(self._backend) > 0:
+            # Reopened shard: seed the filter from the recovered contents
+            # (grown to fit — a restart must not inherit a saturated
+            # filter).  Not counted as a saturation rebuild.
+            capacity = self._bloom.capacity
+            while capacity < len(self._backend):
+                capacity *= 2
+            if capacity != self._bloom.capacity:
+                self._bloom = BloomFilter(capacity, bloom_fp_rate)
+            for digest in self._backend.keys():
+                self._bloom.add(digest)
+        self._track_fill()
 
     def _require_alive(self) -> None:
         if not self.alive:
             raise NodeDownError(f"node {self.node_id!r} is down")
+
+    def _track_fill(self) -> None:
+        self.stats.bloom_fill_ratio = self._bloom.n_added / self._bloom.capacity
 
     # -- chunk operations ----------------------------------------------
 
@@ -65,12 +97,12 @@ class StoreNode:
         """Store a chunk; returns False if already present on this node."""
         self._require_alive()
         self.stats.puts += 1
-        if digest in self._chunks:
+        if not self._backend.put_batch([(digest, data)])[0]:
             return False
-        self._chunks[digest] = bytes(data)
         self._bloom.add(digest)
         if self._bloom.n_added > self._bloom.capacity:
             self._rebuild_bloom(grow=True)
+        self._track_fill()
         return True
 
     def probe(self, digest: bytes) -> ProbeResult:
@@ -80,7 +112,7 @@ class StoreNode:
         if digest not in self._bloom:
             self.stats.bloom_negatives += 1
             return ProbeResult.BLOOM_NEGATIVE
-        if digest in self._chunks:
+        if self._backend.contains_batch([digest])[0]:
             self.stats.hits += 1
             return ProbeResult.HIT
         self.stats.false_positives += 1
@@ -93,63 +125,83 @@ class StoreNode:
         """Raw membership check for the control plane (repair, GC,
         placement): no Bloom probe, no stats — not a data-plane lookup."""
         self._require_alive()
-        return digest in self._chunks
+        return self._backend.contains_batch([digest])[0]
 
     def get_chunk(self, digest: bytes) -> bytes:
         self._require_alive()
-        try:
-            return self._chunks[digest]
-        except KeyError:
+        data = self._backend.get_batch([digest])[0]
+        if data is None:
             raise KeyError(
                 f"chunk {digest.hex()[:16]} missing from node {self.node_id!r}"
-            ) from None
+            )
+        return data
 
     def delete_chunk(self, digest: bytes) -> int:
         """Drop one chunk; returns bytes freed (0 if absent)."""
         self._require_alive()
-        data = self._chunks.pop(digest, None)
-        return 0 if data is None else len(data)
+        return self._backend.delete_batch([digest])[0]
 
     def digests(self) -> tuple[bytes, ...]:
         self._require_alive()
-        return tuple(self._chunks)
+        return tuple(self._backend.keys())
 
     # -- lifecycle -----------------------------------------------------
 
     def fail(self) -> None:
         """Simulate a crash: the node and its shard contents are gone."""
         self.alive = False
-        self._chunks.clear()
+        self._backend.clear()
         self._bloom.clear()
+        self._track_fill()
 
     def sweep(self, live: set[bytes]) -> int:
         """Drop chunks not in ``live``; returns bytes freed.
 
         Bloom filters cannot delete, so the filter is rebuilt from the
         surviving chunk set — this is why cluster GC batches the sweep.
+        On a persistent backend the sweep also compacts the chunk log,
+        reclaiming the dead records' disk space.
         """
         self._require_alive()
-        freed = 0
-        for digest in [d for d in self._chunks if d not in live]:
-            freed += len(self._chunks.pop(digest))
+        dead = [d for d in self._backend.keys() if d not in live]
+        freed = sum(self._backend.delete_batch(dead))
+        self._backend.compact()
         self._rebuild_bloom()
         return freed
+
+    def flush(self) -> None:
+        self._require_alive()
+        self._backend.flush()
+
+    def close(self) -> None:
+        self._backend.close()
 
     def _rebuild_bloom(self, grow: bool = False) -> None:
         capacity = self._bloom.capacity * (2 if grow else 1)
         self._bloom = BloomFilter(capacity, self._bloom_fp_rate)
-        for digest in self._chunks:
+        for digest in self._backend.keys():
             self._bloom.add(digest)
+        if grow:
+            self.stats.bloom_rebuilds += 1
+        self._track_fill()
 
     # -- accounting ----------------------------------------------------
 
     @property
+    def backend(self) -> ChunkBackend:
+        return self._backend
+
+    @property
+    def bloom_capacity(self) -> int:
+        return self._bloom.capacity
+
+    @property
     def chunk_count(self) -> int:
-        return len(self._chunks)
+        return len(self._backend)
 
     @property
     def stored_bytes(self) -> int:
-        return sum(len(c) for c in self._chunks.values())
+        return self._backend.value_bytes
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "up" if self.alive else "DOWN"

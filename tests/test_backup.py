@@ -147,7 +147,7 @@ class TestAgentProtocol:
 class TestBackupEndToEnd:
     @pytest.fixture(scope="class")
     def server(self, image):
-        with BackupServer(BackupConfig(backend="gpu")) as server:
+        with BackupServer(BackupConfig(engine="gpu")) as server:
             server.backup_snapshot(image.data, "master")
             yield server
 
@@ -188,16 +188,16 @@ class TestBackupBandwidthShape:
     @pytest.fixture(scope="class")
     def curves(self, image):
         out = {}
-        for backend in ("cpu", "gpu"):
+        for engine in ("cpu", "gpu"):
             bws = []
-            with BackupServer(BackupConfig(backend=backend)) as server:
+            with BackupServer(BackupConfig(engine=engine)) as server:
                 server.backup_snapshot(image.data, "master")
                 for i, p in enumerate((0.05, 0.25)):
                     t = SimilarityTable.uniform(p, image.n_segments)
                     snap = image.snapshot(t, 10 + i)
-                    rep = server.backup_snapshot(snap, f"{backend}{i}")
+                    rep = server.backup_snapshot(snap, f"{engine}{i}")
                     bws.append(rep.backup_bandwidth_gbps)
-            out[backend] = bws
+            out[engine] = bws
         return out
 
     def test_gpu_beats_cpu(self, curves):
@@ -215,12 +215,16 @@ class TestBackupBandwidthShape:
     def test_cpu_chunking_bound(self, image):
         """For similar snapshots the CPU pipeline is chunking-bound — the
         bottleneck Shredder exists to remove."""
-        with BackupServer(BackupConfig(backend="cpu")) as server:
+        with BackupServer(BackupConfig(engine="cpu")) as server:
             server.backup_snapshot(image.data, "m")
             t = SimilarityTable.uniform(0.2, image.n_segments)
             rep = server.backup_snapshot(snap := image.snapshot(t, 20), "s")
         assert rep.bottleneck == "chunking"
 
-    def test_invalid_backend(self):
+    def test_invalid_engine(self):
         with pytest.raises(ValueError):
-            BackupConfig(backend="fpga")
+            BackupConfig(engine="fpga")
+
+    def test_invalid_storage_backend(self):
+        with pytest.raises(ValueError):
+            BackupConfig(backend="tape")

@@ -219,7 +219,7 @@ class TestCLI:
     def test_backup_command(self, sample_file, capsys):
         from repro.cli import main
 
-        assert main(["backup", sample_file, "--backend", "cpu"]) == 0
+        assert main(["backup", sample_file, "--engine", "cpu"]) == 0
         assert "restore verified" in capsys.readouterr().out
 
     def test_unknown_command_rejected(self):

@@ -92,7 +92,7 @@ class TestBackupRetention:
     def test_weekly_rotation_with_gc(self):
         image = MasterImage(size=2 << 20, segment_size=32 * 1024, seed=74)
         table = SimilarityTable.uniform(0.1, image.n_segments)
-        with BackupServer(BackupConfig(backend="gpu")) as server:
+        with BackupServer(BackupConfig(engine="gpu")) as server:
             server.backup_snapshot(image.data, "gen0")
             for gen in range(1, 5):
                 snap = image.snapshot(table, gen)
@@ -112,7 +112,7 @@ class TestBackupRetention:
     def test_gc_never_breaks_live_recipes(self):
         image = MasterImage(size=1 << 20, segment_size=16 * 1024, seed=75)
         table = SimilarityTable.uniform(0.3, image.n_segments)
-        with BackupServer(BackupConfig(backend="cpu")) as server:
+        with BackupServer(BackupConfig(engine="cpu")) as server:
             snaps = {}
             for gen in range(4):
                 snaps[gen] = image.snapshot(table, gen)

@@ -77,27 +77,27 @@ class TestDedupIndex:
         index = DedupIndex()
         a = make_chunk(b"hello", offset=0)
         b = make_chunk(b"hello", offset=100)
-        dup_a, off_a = index.lookup_or_insert(a)
-        dup_b, off_b = index.lookup_or_insert(b)
+        (dup_a, off_a), = index.lookup_or_insert_batch([a])
+        (dup_b, off_b), = index.lookup_or_insert_batch([b])
         assert not dup_a and dup_b
         assert off_a == 0 and off_b == 0  # canonical copy is the first
 
     def test_lookup_without_insert(self):
         index = DedupIndex()
-        assert index.lookup(make_chunk(b"x").digest) is None
+        assert index.lookup_batch([make_chunk(b"x").digest]) == [None]
 
     def test_contains(self):
         index = DedupIndex()
         chunk = make_chunk(b"x")
-        index.lookup_or_insert(chunk)
+        index.lookup_or_insert_batch([chunk])
         assert chunk.digest in index
         assert len(index) == 1
 
     def test_stats_bytes(self):
         index = DedupIndex()
-        index.lookup_or_insert(make_chunk(b"aaaa"))
-        index.lookup_or_insert(make_chunk(b"aaaa", offset=50))
-        index.lookup_or_insert(make_chunk(b"bb"))
+        index.lookup_or_insert_batch([make_chunk(b"aaaa")])
+        index.lookup_or_insert_batch([make_chunk(b"aaaa", offset=50)])
+        index.lookup_or_insert_batch([make_chunk(b"bb")])
         s = index.stats
         assert s.total_chunks == 3 and s.unique_chunks == 2
         assert s.total_bytes == 10 and s.unique_bytes == 6

@@ -330,6 +330,57 @@ class TestFailureRecovery:
         assert cluster.restore("snap") == blob
 
 
+class TestBloomMaintenance:
+    """Long-lived shards must not let the filter saturate (ISSUE 5)."""
+
+    def test_fresh_node_tracks_fill_without_rebuilds(self):
+        node = StoreNode("n", bloom_capacity=64)
+        assert node.stats.bloom_rebuilds == 0
+        assert node.stats.bloom_fill_ratio == 0.0
+        p = b"p" * 32
+        node.put_chunk(chunk_hash(p), p)
+        assert 0.0 < node.stats.bloom_fill_ratio <= 1.0
+
+    def test_filter_rebuilds_as_shard_fills(self):
+        node = StoreNode("n", bloom_capacity=64, bloom_fp_rate=0.01)
+        for i in range(400):
+            p = i.to_bytes(4, "big") * 8
+            node.put_chunk(chunk_hash(p), p)
+        # 64 -> 128 -> 256 -> 512: three saturation-driven rebuilds.
+        assert node.stats.bloom_rebuilds >= 3
+        assert node.bloom_capacity >= 400
+        assert node.stats.bloom_fill_ratio <= 1.0
+        # Rebuilds re-add every live digest: still no false negatives.
+        for d in node.digests():
+            assert node.has_chunk(d)
+
+    def test_fp_rate_stays_bounded_after_growth(self):
+        node = StoreNode("n", bloom_capacity=32, bloom_fp_rate=0.01)
+        for i in range(300):
+            p = b"fill" + i.to_bytes(4, "big") * 8
+            node.put_chunk(chunk_hash(p), p)
+        for d in make_digests(1000, salt=b"absent"):
+            node.probe(d)
+        # A never-rebuilt 32-capacity filter would false-positive on
+        # nearly every probe; the rebuilt one stays near its target.
+        assert node.stats.false_positives < 0.1 * 1000
+
+    def test_sweep_rebuilds_without_counting_saturation(self):
+        """GC's routine rebuild must not pollute the saturation signal."""
+        node = StoreNode("n")
+        digests = []
+        for i in range(20):
+            p = i.to_bytes(4, "big") * 8
+            digests.append(chunk_hash(p))
+            node.put_chunk(chunk_hash(p), p)
+        node.sweep(live=set(digests[:10]))
+        assert node.stats.bloom_rebuilds == 0  # rebuilt, but not saturated
+        assert node.chunk_count == 10
+        assert node.stats.bloom_fill_ratio == pytest.approx(
+            10 / node.bloom_capacity
+        )
+
+
 class TestClusterGC:
     def test_gc_frees_only_unreferenced(self):
         cluster = ChunkStoreCluster(n_nodes=3, scheme=ReplicatedPlacement(2))
@@ -435,7 +486,10 @@ class TestDedupIndexBatch:
         batch_index, loop_index = DedupIndex(), DedupIndex()
         chunks = make_chunks(payloads)
         batched = batch_index.lookup_or_insert_batch(chunks)
-        looped = [loop_index.lookup_or_insert(c) for c in make_chunks(payloads)]
+        looped = [
+            loop_index.lookup_or_insert_batch([c])[0]
+            for c in make_chunks(payloads)
+        ]
         assert batched == looped
         assert batch_index.stats == loop_index.stats
         # Intra-batch duplicates resolve to the first occurrence.

@@ -376,8 +376,8 @@ class TestPipelineOrdering:
 
 class TestPipelinedBackupServer:
     @pytest.mark.parametrize("store_backend", ["single", "cluster"])
-    @pytest.mark.parametrize("backend", ["gpu", "cpu"])
-    def test_matches_unpipelined(self, backend, store_backend):
+    @pytest.mark.parametrize("engine", ["gpu", "cpu"])
+    def test_matches_unpipelined(self, engine, store_backend):
         from repro.backup import MasterImage, SimilarityTable
 
         image = MasterImage(size=1 << 20, segment_size=32 * 1024, seed=31)
@@ -386,7 +386,7 @@ class TestPipelinedBackupServer:
         observed = []
         for pipelined in (True, False):
             cfg = BackupConfig(
-                backend=backend,
+                engine=engine,
                 store_backend=store_backend,
                 pipelined=pipelined,
                 pipeline_batch_chunks=19,  # force many small batches

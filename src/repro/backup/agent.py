@@ -10,8 +10,9 @@ and finalizes a recipe per snapshot so restores are possible.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
-from repro.core.hashing import chunk_hash
+from repro.core.hashing import digest_many
 from repro.backup.store import ChunkStore, SnapshotRecipe
 
 __all__ = ["ShredderAgent", "TransferLog"]
@@ -57,30 +58,68 @@ class ShredderAgent:
         poison the content-addressed store for every later snapshot that
         dedups against the digest.
         """
+        self.receive_chunks(snapshot_id, [(digest, data)])
+
+    def receive_chunks(
+        self, snapshot_id: str, items: Sequence[tuple[bytes | None, bytes]]
+    ) -> None:
+        """A batch of new chunk payloads arrives: ``(digest, data)`` pairs.
+
+        The batched twin of :meth:`receive_chunk` — the shape the wire
+        front-end ships in (one CHUNK_BATCH frame) and the pipelined
+        server hands over per scan batch.  All declared digests are
+        verified against the payloads in one hashing pass
+        (:func:`~repro.core.hashing.digest_many`, threaded on large
+        batches) before anything is stored, and the store insert is one
+        ``put_batch`` where the store supports it.  A ``None`` digest
+        means "compute it for me".
+        """
         digests, log = self._session(snapshot_id)
-        computed = chunk_hash(data)
-        if digest is None:
-            digest = computed
-        elif digest != computed:
-            raise ValueError(
-                f"chunk payload does not match its declared digest "
-                f"{digest.hex()[:16]} in snapshot {snapshot_id!r}"
-            )
-        self.store.put_chunk(digest, data)
-        digests.append(digest)
-        log.chunks_received += 1
-        log.bytes_received += len(data)
+        computed = digest_many([data for _, data in items])
+        verified: list[tuple[bytes, bytes]] = []
+        for (declared, data), actual in zip(items, computed):
+            if declared is not None and declared != actual:
+                raise ValueError(
+                    f"chunk payload does not match its declared digest "
+                    f"{declared.hex()[:16]} in snapshot {snapshot_id!r}"
+                )
+            verified.append((actual, data))
+        put_chunks = getattr(self.store, "put_chunks", None)
+        if put_chunks is not None:
+            put_chunks(verified)
+        else:
+            for digest, data in verified:
+                self.store.put_chunk(digest, data)
+        for digest, data in verified:
+            digests.append(digest)
+            log.chunks_received += 1
+            log.bytes_received += len(data)
 
     def receive_pointer(self, snapshot_id: str, digest: bytes) -> None:
         """A pointer to an already-stored chunk arrives."""
+        self.receive_pointers(snapshot_id, [digest])
+
+    def receive_pointers(self, snapshot_id: str, pointer_digests: Sequence[bytes]) -> None:
+        """A batch of pointers to already-stored chunks arrives.
+
+        Presence is checked for the whole batch in one probe where the
+        store supports it — the wire path validates a POINTER_BATCH
+        frame with one index pass, not one round trip per pointer.
+        """
         digests, log = self._session(snapshot_id)
-        if not self.store.has_chunk(digest):
-            raise KeyError(
-                f"pointer to unknown chunk {digest.hex()[:16]} in "
-                f"snapshot {snapshot_id!r}"
-            )
-        digests.append(digest)
-        log.pointers_received += 1
+        has_chunks = getattr(self.store, "has_chunks", None)
+        if has_chunks is not None:
+            present = has_chunks(pointer_digests)
+        else:
+            present = [self.store.has_chunk(d) for d in pointer_digests]
+        for digest, ok in zip(pointer_digests, present):
+            if not ok:
+                raise KeyError(
+                    f"pointer to unknown chunk {digest.hex()[:16]} in "
+                    f"snapshot {snapshot_id!r}"
+                )
+        digests.extend(pointer_digests)
+        log.pointers_received += len(pointer_digests)
 
     def finish_snapshot(self, snapshot_id: str) -> TransferLog:
         """Close the session, persist the recipe, return the transfer log."""
@@ -91,6 +130,22 @@ class ShredderAgent:
         )
         del self._open[snapshot_id]
         return log
+
+    def abort_snapshot(self, snapshot_id: str) -> None:
+        """Drop an open session without writing a recipe.
+
+        The wire front-end calls this when a client disconnects mid
+        snapshot: already-stored chunks stay (they are content-addressed
+        and harmless; GC reclaims unreferenced ones), but no recipe is
+        published, so the half-shipped snapshot can never be restored.
+        """
+        self._session(snapshot_id)
+        del self._open[snapshot_id]
+
+    @property
+    def open_snapshots(self) -> tuple[str, ...]:
+        """Ids of sessions begun but not yet finished/aborted."""
+        return tuple(self._open)
 
     def restore(self, snapshot_id: str) -> bytes:
         """Recreate the original uncompressed snapshot."""

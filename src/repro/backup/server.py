@@ -345,20 +345,32 @@ class BackupServer:
         shipped = 0
         for batch in batches:
             n_chunks += len(batch)
-            for chunk, is_dup in zip(
-                batch, self._decide_batch(batch, seen, lookup_stats)
-            ):
+            decisions = self._decide_batch(batch, seen, lookup_stats)
+            # Ship through the agent's batched surface: consecutive
+            # same-decision runs become one CHUNK_BATCH-shaped call or
+            # one pointer batch, so the recipe order (arrival order at
+            # the agent) is exactly the per-chunk path's.
+            i = 0
+            while i < len(batch):
+                is_dup = decisions[i]
+                j = i
+                while j < len(batch) and decisions[j] == is_dup:
+                    j += 1
+                run = batch[i:j]
                 if is_dup:
-                    duplicates += 1
-                    self.agent.receive_pointer(snapshot_id, chunk.digest)
+                    duplicates += len(run)
+                    self.agent.receive_pointers(
+                        snapshot_id, [c.digest for c in run]
+                    )
                 else:
-                    shipped += chunk.length
+                    shipped += sum(c.length for c in run)
                     # Only unique chunks materialize their payload; the
                     # digest rides along as an end-to-end integrity check
-                    # the site verifies before storing.
-                    self.agent.receive_chunk(
-                        snapshot_id, chunk.data, digest=chunk.digest
+                    # the site verifies (batched) before storing.
+                    self.agent.receive_chunks(
+                        snapshot_id, [(c.digest, c.data) for c in run]
                     )
+                i = j
         transfer = self.agent.finish_snapshot(snapshot_id)
 
         n = len(data)

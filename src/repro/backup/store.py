@@ -67,8 +67,16 @@ class ChunkStore:
         """Store a chunk; returns False if it was already present."""
         return self._chunks.put_batch([(digest, data)])[0]
 
+    def put_chunks(self, items) -> list[bool]:
+        """Store a batch of ``(digest, data)``; flags newly-inserted ones."""
+        return self._chunks.put_batch(list(items))
+
     def has_chunk(self, digest: bytes) -> bool:
         return self._chunks.contains_batch([digest])[0]
+
+    def has_chunks(self, digests) -> list[bool]:
+        """Batched membership over chunk digests (one backend probe)."""
+        return self._chunks.contains_batch(list(digests))
 
     def get_chunk(self, digest: bytes) -> bytes:
         data = self._chunks.get_batch([digest])[0]
@@ -90,6 +98,10 @@ class ChunkStore:
 
     def get_recipe(self, snapshot_id: str) -> SnapshotRecipe:
         return self._recipes.get(snapshot_id)
+
+    def snapshot_ids(self) -> list[str]:
+        """Sorted ids of every stored snapshot recipe."""
+        return self._recipes.ids()
 
     def restore(self, snapshot_id: str) -> bytes:
         """Reassemble a snapshot from its recipe (the agent's job).

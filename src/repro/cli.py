@@ -8,11 +8,15 @@ Commands
 ``dedup A B``       cross-file dedup statistics (how similar are A and B?)
 ``throughput``      the Figure 12 configuration comparison (modeled)
 ``table1``          the simulated GPU's Table 1 characteristics
-``backup FILE``     one-shot dedup backup of FILE against itself + stats
+``backup FILE``     one-shot dedup backup of FILE against itself + stats;
+                    ``--remote HOST:PORT [--tenant NAME]`` ships it over
+                    the wire to a running backup service instead
 ``cluster FILE``    dedup backup through the sharded chunk-store cluster,
                     with optional node-failure + repair drill; ``--backend
                     disk --data-dir DIR`` persists every shard/recipe so a
                     later run reopens them
+``serve``           run the multi-tenant backup service daemon (agent
+                    wire protocol + /health + /metrics on one port)
 ``tune``            measure + persist the striped-scan geometry for this
                     host (tile size, lanes, fused roll steps, threads)
 """
@@ -87,33 +91,48 @@ def _profiled_chunk(chunker, view) -> list:
 
 
 def _print_profile(n_bytes: int, seconds: float) -> None:
-    from repro.core import scan_counters, stage_times
+    """Print the stage split from the one merged stats snapshot.
 
+    Consumes :func:`repro.core.stats.snapshot` — the same document the
+    service's ``/metrics`` endpoint serves — so the CLI profile and the
+    daemon's metrics surface can never drift apart.
+    """
+    from repro.core import stats_snapshot
+
+    snap = stats_snapshot()
     mib = n_bytes / (1 << 20)
     table = ResultTable(
         "Pipeline stage split",
         ["Stage", "Seconds", "% of wall", "MiB/s"],
         )
     for name in ("scan", "hash", "lookup", "store"):
-        spent = stage_times().get(name, 0.0)
+        spent = snap["stages"].get(name, 0.0)
         table.add(
             name, f"{spent:.3f}",
             f"{100 * spent / seconds:.0f}%" if seconds else "-",
             f"{mib / spent:.1f}" if spent else "-",
         )
     print(format_table(table))
-    c = scan_counters()
-    if c.dispatches:
-        g = c.geometry
+    c = snap["scan"]
+    if c["dispatches"]:
+        g = c["geometry"]
         print(
-            f"scan kernel: {c.dispatches} dispatches over {c.tiles} tiles "
-            f"({c.bytes_per_dispatch / 1024:.0f} KiB/dispatch, "
-            f"{c.dispatches_per_mib:.1f} dispatches/MiB)"
+            f"scan kernel: {c['dispatches']} dispatches over {c['tiles']} "
+            f"tiles ({c['bytes_per_dispatch'] / 1024:.0f} KiB/dispatch, "
+            f"{c['dispatches_per_mib']:.1f} dispatches/MiB)"
         )
         print(
             f"scan geometry: lanes={g.get('lanes')} "
             f"tile={g.get('tile_bytes', 0) >> 20} MiB "
             f"roll_steps={g.get('roll_steps')}"
+        )
+    backends = snap["backends"]
+    if backends.get("instances"):
+        print(
+            f"store backends: {backends['instances']} live, "
+            f"{backends.get('batches', 0)} batched calls, "
+            f"{backends.get('puts', 0)} inserts, "
+            f"{backends.get('gets', 0)} gets"
         )
 
 
@@ -251,11 +270,60 @@ def _free_snapshot_id(store, base: str = "cli") -> str:
         sid = f"{base}-{n}"
 
 
+def _parse_remote(remote: str) -> tuple[str, int]:
+    host, sep, port_s = remote.rpartition(":")
+    if not sep or not host:
+        raise SystemExit(f"--remote wants HOST:PORT, got {remote!r}")
+    try:
+        return host, int(port_s)
+    except ValueError:
+        raise SystemExit(f"--remote port {port_s!r} is not a number")
+
+
+def _remote_backup(args, data: bytes) -> int:
+    from repro.service import RemoteAgent
+    from repro.service.protocol import RemoteError
+
+    host, port = _parse_remote(args.remote)
+    try:
+        agent = RemoteAgent(host, port, tenant=args.tenant, client_name="cli")
+    except (OSError, RemoteError) as exc:
+        raise SystemExit(f"cannot reach backup service at {args.remote}: {exc}")
+    with agent:
+        taken = set(agent.list_snapshots())
+        sid, n = "cli", 1
+        while sid in taken:
+            n += 1
+            sid = f"cli-{n}"
+        try:
+            report = agent.backup(data, sid)
+        except RemoteError as exc:
+            raise SystemExit(f"remote backup failed: {exc}")
+        restored = agent.restore(sid)
+    assert restored == data
+    print(f"remote service {args.remote} (tenant {args.tenant!r}), "
+          f"stored as snapshot {sid!r}")
+    print(f"backed up {report.total_bytes} B as {report.n_chunks} chunks")
+    print(f"  shipped {report.shipped_bytes} B "
+          f"({report.dedup_fraction:.1%} duplicate chunks)")
+    print(f"  wire ingest: {report.ingest_mib_s:.1f} MiB/s "
+          f"({report.elapsed_s:.2f} s wall)")
+    print("  restore verified byte-exact")
+    return 0
+
+
 def cmd_backup(args) -> int:
     from repro.backup import BackupConfig, BackupServer
 
     _apply_threads(args)
     data = _read(args.file)
+    if args.remote:
+        if args.backend or args.data_dir:
+            raise SystemExit(
+                "--remote ships to a running service; storage flags "
+                "(--backend/--data-dir) belong to `repro serve`"
+            )
+        return _remote_backup(args, data)
     try:
         config = BackupConfig(
             engine=args.engine, backend=args.backend, data_dir=args.data_dir
@@ -341,6 +409,53 @@ def cmd_cluster(args) -> int:
         restored = server.agent.restore(snapshot_id)
     assert restored == data
     print("  restore verified byte-exact")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from repro.service import BackupService, ServiceConfig
+
+    _apply_threads(args)
+    try:
+        config = ServiceConfig(
+            host=args.host,
+            port=args.port,
+            backend=args.backend,
+            data_dir=args.data_dir,
+            store_backend=args.store_backend,
+            cluster_nodes=args.nodes,
+            max_sessions=args.max_sessions,
+            queue_depth=args.queue_depth,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"serve config rejected: {exc}")
+
+    async def run() -> None:
+        service = BackupService(config)
+        await service.start()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except NotImplementedError:  # non-POSIX event loop
+                pass
+        print(f"repro backup service on {config.host}:{service.port} "
+              f"({service.storage_kind} backend, {config.store_backend} "
+              f"store, <= {config.max_sessions} sessions)")
+        print("  agent wire protocol (SHRD1) + HTTP /health /metrics "
+              "on the same port; Ctrl-C or SIGTERM to stop")
+        sys.stdout.flush()
+        try:
+            await stop.wait()
+        finally:
+            await service.stop()
+        print("service stopped; store closed cleanly")
+
+    asyncio.run(run())
     return 0
 
 
@@ -447,8 +562,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_backup = sub.add_parser("backup", help="one-shot dedup backup of a file")
     p_backup.add_argument("file")
     add_storage_args(p_backup)
+    p_backup.add_argument("--remote", default=None, metavar="HOST:PORT",
+                          help="ship to a running `repro serve` daemon over "
+                          "the wire instead of backing up in-process")
+    p_backup.add_argument("--tenant", default="default",
+                          help="tenant namespace for --remote (snapshots "
+                          "and dedup decisions are tenant-scoped)")
     add_threads_arg(p_backup)
     p_backup.set_defaults(fn=cmd_backup)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the multi-tenant backup service daemon"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=9451,
+                         help="listen port (0 = ephemeral, printed at boot)")
+    p_serve.add_argument("--backend", choices=("memory", "disk"), default=None,
+                         help="storage backend for the shared store and "
+                         "tenant indexes (default: REPRO_STORE_BACKEND "
+                         "or memory)")
+    p_serve.add_argument("--data-dir", default=None, metavar="DIR",
+                         help="root for disk-backed state; restarting on "
+                         "the same DIR resumes every tenant's snapshots "
+                         "(implies --backend disk)")
+    p_serve.add_argument("--store-backend", choices=("single", "cluster"),
+                         default="single",
+                         help="backup-site payload store behind the service")
+    p_serve.add_argument("--nodes", type=int, default=4,
+                         help="cluster shard count (--store-backend cluster)")
+    p_serve.add_argument("--max-sessions", type=int, default=64,
+                         help="concurrent agent sessions before BUSY")
+    p_serve.add_argument("--queue-depth", type=int, default=4,
+                         help="bounded per-connection ingest queue (frames); "
+                         "the backpressure limit")
+    add_threads_arg(p_serve)
+    p_serve.set_defaults(fn=cmd_serve)
 
     p_cluster = sub.add_parser(
         "cluster", help="dedup backup through the sharded chunk-store cluster"

@@ -48,6 +48,7 @@ from repro.core.stats import (
     stage_times,
     unique_bytes,
 )
+from repro.core.stats import snapshot as stats_snapshot
 
 __all__ = [
     "FixedSizeChunker", "SampleByteChunker",
@@ -69,5 +70,6 @@ __all__ = [
     "Shredder", "ShredderConfig", "ShredderReport",
     "ScanCounters", "SizeStats", "dedup_ratio", "reset_scan_counters",
     "reset_stage_times", "scan_counters", "size_stats", "stage_times",
+    "stats_snapshot",
     "unique_bytes",
 ]

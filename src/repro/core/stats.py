@@ -20,8 +20,10 @@ they are touched once per tile scan / pipeline batch, never per byte.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import threading
+import weakref
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -39,6 +41,9 @@ __all__ = [
     "record_stage",
     "stage_times",
     "reset_stage_times",
+    "register_backend_stats",
+    "register_node_stats",
+    "snapshot",
 ]
 
 
@@ -193,3 +198,77 @@ def reset_stage_times() -> None:
     """Zero the per-stage timers."""
     with _SCAN_LOCK:
         _STAGES.clear()
+
+
+# ----------------------------------------------------------------------
+# process-wide counter registry + merged snapshot
+# ----------------------------------------------------------------------
+
+# Live stats objects register themselves here at construction (weakly,
+# so a closed backend or a decommissioned node drops out with its
+# owner).  ``snapshot()`` aggregates across whatever is still alive —
+# the metrics endpoint and ``repro chunk --profile`` both consume the
+# same merged view instead of each walking the owners themselves.
+# Keyed by id() because the stats dataclasses are mutable (unhashable);
+# weak values mean a dead entry vanishes before its id can be reused.
+_BACKEND_STATS: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
+_NODE_STATS: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
+
+
+def register_backend_stats(stats_obj) -> None:
+    """Track a :class:`~repro.store.backend.BackendStats` for snapshots."""
+    with _SCAN_LOCK:
+        _BACKEND_STATS[id(stats_obj)] = stats_obj
+
+
+def register_node_stats(stats_obj) -> None:
+    """Track a :class:`~repro.store.node.NodeStats` for snapshots."""
+    with _SCAN_LOCK:
+        _NODE_STATS[id(stats_obj)] = stats_obj
+
+
+def _aggregate(instances) -> dict:
+    """Field-wise merge of live stats dataclasses.
+
+    Integer counters sum across instances; float gauges (fill ratios)
+    report their maximum — the saturation signal survives aggregation,
+    a mean across mostly-empty instances would hide it.
+    """
+    merged: dict = {"instances": len(instances)}
+    for obj in instances:
+        for f in dataclasses.fields(obj):
+            value = getattr(obj, f.name)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            if isinstance(value, float):
+                merged[f.name] = max(merged.get(f.name, 0.0), value)
+            else:
+                merged[f.name] = merged.get(f.name, 0) + value
+    return merged
+
+
+def snapshot() -> dict:
+    """One merged dict of scan / stage / backend / node counters.
+
+    The single aggregation point for process-wide instrumentation:
+    the service metrics endpoint serves it and ``repro chunk
+    --profile`` prints from it.  Shape::
+
+        {"scan":     {...ScanCounters + derived rates...},
+         "stages":   {"scan": s, "hash": s, "lookup": s, "store": s},
+         "backends": {"instances": n, "puts": ..., "gets": ...},
+         "nodes":    {"instances": n, "probes": ..., "hits": ...}}
+    """
+    scan = scan_counters()
+    with _SCAN_LOCK:
+        backends = list(_BACKEND_STATS.values())
+        nodes = list(_NODE_STATS.values())
+    scan_dict = dataclasses.asdict(scan)
+    scan_dict["bytes_per_dispatch"] = scan.bytes_per_dispatch
+    scan_dict["dispatches_per_mib"] = scan.dispatches_per_mib
+    return {
+        "scan": scan_dict,
+        "stages": stage_times(),
+        "backends": _aggregate(backends),
+        "nodes": _aggregate(nodes),
+    }

@@ -1,0 +1,609 @@
+"""Client side of the backup service: async agent + sync drop-in.
+
+:class:`AsyncBackupClient` speaks the batched wire protocol and runs
+the paper's client-side pipeline across the network: a feeder thread
+drives :meth:`~repro.core.shredder.Shredder.pipeline_batches` (the
+bounded scan ‖ hash pipeline), and the event loop overlaps that local
+work with shipping — digests of batch *i+1* go out while the chunk
+payloads of batch *i* are still in flight, bounded by the server's
+advertised ack window.  Replies are strictly in-order per connection
+(the protocol's contract), so the client never tags requests; it just
+counts outstanding acks.
+
+Dedup decisions are **source-side**: the client sends one DIGEST_BATCH
+(decide mode) per pipeline batch and only ships payloads the server's
+tenant index has not seen — duplicate chunks cross the wire as
+pointer-sized digests, which is the §7 bandwidth story end to end.
+
+:class:`RemoteAgent` wraps the async client behind the synchronous
+:class:`~repro.backup.agent.ShredderAgent` surface (``begin_snapshot`` /
+``receive_chunk`` / ``receive_pointer`` / ``finish_snapshot`` /
+``restore`` + a ``store``-shaped proxy), so existing in-process callers
+can point at a remote service without restructuring.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.backup.agent import TransferLog
+from repro.backup.server import _default_backup_chunker
+from repro.core.hashing import chunk_hash
+from repro.core.shredder import Shredder, ShredderConfig
+from repro.service import protocol as wire
+from repro.service.protocol import Err, Msg, RemoteError
+
+__all__ = ["AsyncBackupClient", "RemoteAgent", "RemoteBackupReport"]
+
+#: Digested batches buffered between the feeder thread and the sender.
+_FEED_DEPTH = 4
+
+
+@dataclass
+class RemoteBackupReport:
+    """Outcome of one remote backup, measured at the client."""
+
+    snapshot_id: str
+    total_bytes: int
+    n_chunks: int
+    duplicate_chunks: int
+    #: Chunk payload bytes that actually crossed the wire.
+    shipped_bytes: int
+    elapsed_s: float
+    transfer: TransferLog = field(default_factory=TransferLog)
+
+    @property
+    def dedup_fraction(self) -> float:
+        return self.duplicate_chunks / self.n_chunks if self.n_chunks else 0.0
+
+    @property
+    def ingest_mib_s(self) -> float:
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.total_bytes / self.elapsed_s / (1 << 20)
+
+
+class AsyncBackupClient:
+    """One authenticated session against a running BackupService."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        tenant: str,
+        session_id: str,
+        window: int,
+        max_frame: int = wire.DEFAULT_MAX_FRAME,
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.tenant = tenant
+        self.session_id = session_id
+        #: Max unacked CHUNK/POINTER batches in flight (server's hint).
+        self.window = max(1, window)
+        self.max_frame = max_frame
+        self._closed = False
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        tenant: str = "default",
+        client_name: str = "",
+        max_frame: int = wire.DEFAULT_MAX_FRAME,
+    ) -> "AsyncBackupClient":
+        """Dial, identify (magic + HELLO), and complete the handshake."""
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(wire.MAGIC)
+        writer.write(
+            wire.encode_frame(Msg.HELLO, wire.encode_hello(tenant, client_name))
+        )
+        await writer.drain()
+        try:
+            msg, payload = await wire.read_frame(reader, max_frame)
+            if msg is Msg.ERROR:
+                raise RemoteError(*wire.decode_error(payload))
+            if msg is not Msg.HELLO_OK:
+                raise wire.ProtocolError(f"expected HELLO_OK, got {msg.name}")
+        except BaseException:
+            writer.close()
+            raise
+        _version, window, session_id = wire.decode_hello_ok(payload)
+        return cls(
+            reader,
+            writer,
+            tenant=tenant,
+            session_id=session_id,
+            window=window,
+            max_frame=max_frame,
+        )
+
+    # -- low-level request/reply ---------------------------------------
+
+    async def _send(self, msg: Msg, payload: bytes = b"") -> None:
+        self.writer.write(wire.encode_frame(msg, payload))
+        await self.writer.drain()
+
+    async def _recv(self) -> tuple[Msg, bytes]:
+        msg, payload = await wire.read_frame(self.reader, self.max_frame)
+        if msg is Msg.ERROR:
+            raise RemoteError(*wire.decode_error(payload))
+        return msg, payload
+
+    async def _expect(self, expected: Msg) -> bytes:
+        msg, payload = await self._recv()
+        if msg is not expected:
+            raise wire.ProtocolError(
+                f"expected {expected.name}, got {msg.name}"
+            )
+        return payload
+
+    async def _rpc(self, msg: Msg, payload: bytes, expected: Msg) -> bytes:
+        await self._send(msg, payload)
+        return await self._expect(expected)
+
+    # -- session verbs -------------------------------------------------
+
+    async def begin_snapshot(self, snapshot_id: str) -> None:
+        await self._rpc(
+            Msg.BEGIN_SNAPSHOT,
+            wire.encode_snapshot_id(snapshot_id),
+            Msg.BEGIN_OK,
+        )
+
+    async def finish_snapshot(self, snapshot_id: str) -> TransferLog:
+        payload = await self._rpc(
+            Msg.FINISH, wire.encode_snapshot_id(snapshot_id), Msg.FINISH_OK
+        )
+        chunks, pointers, received = wire.decode_finish_ok(payload)
+        return TransferLog(
+            chunks_received=chunks,
+            pointers_received=pointers,
+            bytes_received=received,
+        )
+
+    async def decide_chunks(self, digests, lengths) -> list[bool]:
+        """Tenant dedup decision (and index insert) for an open snapshot."""
+        payload = await self._rpc(
+            Msg.DIGEST_BATCH,
+            wire.encode_digest_batch(list(digests), list(lengths)),
+            Msg.DIGEST_REPLY,
+        )
+        return wire.decode_digest_reply(payload)
+
+    async def has_chunks(self, digests) -> list[bool]:
+        """Read-only membership probe against the shared payload store."""
+        payload = await self._rpc(
+            Msg.DIGEST_BATCH,
+            wire.encode_digest_batch(list(digests)),
+            Msg.DIGEST_REPLY,
+        )
+        return wire.decode_digest_reply(payload)
+
+    async def ship_chunks(self, items) -> tuple[int, int]:
+        """Ship ``(digest, payload)`` pairs; returns (items, bytes) acked."""
+        payload = await self._rpc(
+            Msg.CHUNK_BATCH, wire.encode_chunk_batch(list(items)), Msg.BATCH_OK
+        )
+        return wire.decode_batch_ok(payload)
+
+    async def ship_pointers(self, digests) -> int:
+        payload = await self._rpc(
+            Msg.POINTER_BATCH,
+            wire.encode_pointer_batch(list(digests)),
+            Msg.BATCH_OK,
+        )
+        return wire.decode_batch_ok(payload)[0]
+
+    async def list_snapshots(self) -> list[str]:
+        payload = await self._rpc(
+            Msg.LIST_SNAPSHOTS, b"", Msg.SNAPSHOT_LIST
+        )
+        return wire.decode_snapshot_list(payload)
+
+    async def restore(self, snapshot_id: str) -> bytes:
+        await self._send(Msg.RESTORE, wire.encode_snapshot_id(snapshot_id))
+        payload = await self._expect(Msg.RESTORE_BEGIN)
+        total_bytes, _n_chunks = wire.decode_restore_begin(payload)
+        pieces: list[bytes] = []
+        received = 0
+        while True:
+            msg, payload = await self._recv()
+            if msg is Msg.RESTORE_END:
+                break
+            if msg is not Msg.RESTORE_DATA:
+                raise wire.ProtocolError(
+                    f"expected RESTORE_DATA, got {msg.name}"
+                )
+            pieces.append(payload)
+            received += len(payload)
+        if received != total_bytes:
+            raise wire.ProtocolError(
+                f"restore announced {total_bytes} bytes, streamed {received}"
+            )
+        return b"".join(pieces)
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def __aenter__(self) -> "AsyncBackupClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # -- the pipelined backup ------------------------------------------
+
+    async def backup(
+        self,
+        data: bytes,
+        snapshot_id: str,
+        *,
+        shredder: Shredder | None = None,
+        batch_chunks: int | None = None,
+    ) -> RemoteBackupReport:
+        """Chunk, hash, deduplicate, and ship one snapshot.
+
+        Local chunk+hash runs on the Shredder's own threads (a feeder
+        thread pulls :meth:`~repro.core.shredder.Shredder
+        .pipeline_batches`); this coroutine overlaps it with the wire:
+        per batch one DIGEST_BATCH decides source-side, payload misses
+        ship as CHUNK_BATCH and hits as POINTER_BATCH, with up to
+        ``window`` unacked batches in flight while the next scan tile is
+        still being hashed.
+        """
+        own_shredder = shredder is None
+        if own_shredder:
+            shredder = Shredder(
+                ShredderConfig.gpu_streams_memory(
+                    chunker=_default_backup_chunker()
+                )
+            )
+        t0 = time.perf_counter()
+        n_chunks = duplicates = shipped = 0
+        unacked: deque[int] = deque()  # in-flight unacked ship frames
+
+        async def drain_one() -> None:
+            ack = await self._expect(Msg.BATCH_OK)
+            wire.decode_batch_ok(ack)
+            unacked.popleft()
+
+        await self.begin_snapshot(snapshot_id)
+        try:
+            async for batch in _feed(shredder, data, batch_chunks):
+                n_chunks += len(batch)
+                # Decision round trip: all prior batch acks drain first
+                # (replies are FIFO), so at most `window` ship frames
+                # ride ahead of this request.
+                while unacked:
+                    await drain_one()
+                flags = await self.decide_chunks(
+                    [c.digest for c in batch], [c.length for c in batch]
+                )
+                # Ship consecutive same-decision runs — order of arrival
+                # at the agent is recipe order, identical to in-process.
+                i = 0
+                while i < len(batch):
+                    is_dup = flags[i]
+                    j = i
+                    while j < len(batch) and flags[j] == is_dup:
+                        j += 1
+                    run = batch[i:j]
+                    if is_dup:
+                        duplicates += len(run)
+                        await self._send(
+                            Msg.POINTER_BATCH,
+                            wire.encode_pointer_batch(
+                                [c.digest for c in run]
+                            ),
+                        )
+                    else:
+                        run_bytes = sum(c.length for c in run)
+                        shipped += run_bytes
+                        await self._send(
+                            Msg.CHUNK_BATCH,
+                            wire.encode_chunk_batch(
+                                [(c.digest, c.data) for c in run]
+                            ),
+                        )
+                    unacked.append(1)
+                    while len(unacked) >= self.window:
+                        await drain_one()
+                    i = j
+            while unacked:
+                await drain_one()
+            transfer = await self.finish_snapshot(snapshot_id)
+        finally:
+            if own_shredder:
+                shredder.close()
+        return RemoteBackupReport(
+            snapshot_id=snapshot_id,
+            total_bytes=len(data),
+            n_chunks=n_chunks,
+            duplicate_chunks=duplicates,
+            shipped_bytes=shipped,
+            elapsed_s=time.perf_counter() - t0,
+            transfer=transfer,
+        )
+
+
+async def _feed(shredder: Shredder, data: bytes, batch_chunks: int | None):
+    """Async-iterate digested pipeline batches produced on a thread.
+
+    The feeder thread blocks in the Shredder's bounded pipeline; a small
+    bounded queue carries batches onto the event loop, so chunk+hash for
+    batch *i+1* overlaps the shipping of batch *i* without unbounded
+    buffering.  The stop event keeps the thread from wedging on a full
+    queue if the consumer dies mid-stream.
+    """
+    loop = asyncio.get_running_loop()
+    queue: asyncio.Queue = asyncio.Queue(maxsize=_FEED_DEPTH)
+    stop = threading.Event()
+    _END = object()
+
+    def put(item) -> bool:
+        # Schedule the enqueue exactly once and poll that same future.
+        # A timed-out run_coroutine_threadsafe future is NOT cancelled —
+        # the put coroutine stays pending and lands the item when a slot
+        # frees, so rescheduling on timeout would enqueue it twice.
+        try:
+            future = asyncio.run_coroutine_threadsafe(queue.put(item), loop)
+        except RuntimeError:
+            return False  # loop is closing
+        while True:
+            try:
+                future.result(timeout=0.1)
+                return True
+            except concurrent.futures.TimeoutError:
+                if stop.is_set():
+                    future.cancel()
+                    return False
+            except (concurrent.futures.CancelledError, RuntimeError):
+                return False
+
+    def run() -> None:
+        try:
+            for batch in shredder.pipeline_batches(
+                data, batch_chunks=batch_chunks
+            ):
+                if not put(batch):
+                    return
+        except BaseException as exc:  # noqa: BLE001 — forwarded to consumer
+            put(exc)
+            return
+        put(_END)
+
+    feeder = threading.Thread(target=run, name="repro-feed", daemon=True)
+    feeder.start()
+    try:
+        while True:
+            item = await queue.get()
+            if item is _END:
+                break
+            if isinstance(item, BaseException):
+                raise item
+            yield item
+    finally:
+        # No awaits here: this also runs under GeneratorExit when the
+        # consumer abandons the stream, where suspending is illegal.
+        # stop + drain unblocks a feeder stuck on the full queue; its
+        # put() polls every 0.1 s and sees the flag.
+        stop.set()
+        while feeder.is_alive():
+            try:
+                queue.get_nowait()
+            except asyncio.QueueEmpty:
+                pass
+            feeder.join(timeout=0.05)
+
+
+# ----------------------------------------------------------------------
+# synchronous drop-in agent
+# ----------------------------------------------------------------------
+
+
+class _RemoteStoreProxy:
+    """The slice of the ChunkStore surface remote callers may touch."""
+
+    def __init__(self, agent: "RemoteAgent") -> None:
+        self._agent = agent
+
+    def has_chunk(self, digest: bytes) -> bool:
+        return self.has_chunks([digest])[0]
+
+    def has_chunks(self, digests) -> list[bool]:
+        return self._agent._call(self._agent._client.has_chunks(list(digests)))
+
+    def snapshot_ids(self) -> list[str]:
+        """This tenant's snapshots (the service scopes the listing)."""
+        return self._agent.list_snapshots()
+
+    def restore(self, snapshot_id: str) -> bytes:
+        return self._agent.restore(snapshot_id)
+
+
+class RemoteAgent:
+    """Synchronous ShredderAgent-shaped facade over the wire client.
+
+    Runs a private event loop on a background thread so callers keep the
+    blocking call style of :class:`~repro.backup.agent.ShredderAgent`:
+    ``begin_snapshot`` / ``receive_chunk`` / ``receive_pointer`` /
+    ``finish_snapshot`` / ``restore``.  Chunk and pointer receives are
+    buffered and flushed as batched wire frames (run-grouped, order
+    preserved) once ``flush_items`` accumulate or at ``finish_snapshot``
+    — per-call latency is traded for the batched wire shape.
+
+    One difference from the in-process agent: the service allows a
+    single open snapshot per connection, so interleaving two open
+    snapshots through one RemoteAgent raises at the server.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        tenant: str = "default",
+        client_name: str = "",
+        flush_items: int = 256,
+    ) -> None:
+        if flush_items < 1:
+            raise ValueError("flush_items must be >= 1")
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-remote-agent", daemon=True
+        )
+        self._thread.start()
+        self._flush_items = flush_items
+        #: Pending ops for the open snapshot: ("chunk", digest, data) or
+        #: ("pointer", digest), in arrival order.
+        self._buffer: list[tuple] = []
+        self._open: str | None = None
+        try:
+            self._client = self._call(
+                AsyncBackupClient.connect(
+                    host, port, tenant=tenant, client_name=client_name
+                )
+            )
+        except BaseException:
+            self._shutdown_loop()
+            raise
+
+    # -- plumbing ------------------------------------------------------
+
+    def _call(self, coro):
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
+
+    def _shutdown_loop(self) -> None:
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=5)
+        self._loop.close()
+
+    # -- ShredderAgent surface -----------------------------------------
+
+    @property
+    def store(self) -> _RemoteStoreProxy:
+        return _RemoteStoreProxy(self)
+
+    @property
+    def session_id(self) -> str:
+        return self._client.session_id
+
+    @property
+    def tenant(self) -> str:
+        return self._client.tenant
+
+    def begin_snapshot(self, snapshot_id: str) -> None:
+        self._call(self._client.begin_snapshot(snapshot_id))
+        self._open = snapshot_id
+        self._buffer.clear()
+
+    def _require_open(self, snapshot_id: str) -> None:
+        if self._open != snapshot_id:
+            raise ValueError(f"snapshot {snapshot_id!r} is not open")
+
+    def receive_chunk(
+        self, snapshot_id: str, data: bytes, digest: bytes | None = None
+    ) -> None:
+        self._require_open(snapshot_id)
+        # The wire always carries the digest (it is the integrity check
+        # the site verifies); compute it here when the caller didn't.
+        self._buffer.append(
+            ("chunk", digest if digest is not None else chunk_hash(data), data)
+        )
+        if len(self._buffer) >= self._flush_items:
+            self.flush()
+
+    def receive_pointer(self, snapshot_id: str, digest: bytes) -> None:
+        self._require_open(snapshot_id)
+        self._buffer.append(("pointer", digest))
+        if len(self._buffer) >= self._flush_items:
+            self.flush()
+
+    def receive_chunks(self, snapshot_id: str, items) -> None:
+        """Batched twin of :meth:`receive_chunk` (``(digest, data)``)."""
+        self._require_open(snapshot_id)
+        for digest, data in items:
+            self._buffer.append(
+                (
+                    "chunk",
+                    digest if digest is not None else chunk_hash(data),
+                    data,
+                )
+            )
+        if len(self._buffer) >= self._flush_items:
+            self.flush()
+
+    def receive_pointers(self, snapshot_id: str, pointer_digests) -> None:
+        """Batched twin of :meth:`receive_pointer`."""
+        self._require_open(snapshot_id)
+        self._buffer.extend(("pointer", d) for d in pointer_digests)
+        if len(self._buffer) >= self._flush_items:
+            self.flush()
+
+    def flush(self) -> None:
+        """Push buffered receives out as run-grouped batch frames."""
+        buffer, self._buffer = self._buffer, []
+        i = 0
+        while i < len(buffer):
+            kind = buffer[i][0]
+            j = i
+            while j < len(buffer) and buffer[j][0] == kind:
+                j += 1
+            run = buffer[i:j]
+            if kind == "chunk":
+                self._call(
+                    self._client.ship_chunks([(op[1], op[2]) for op in run])
+                )
+            else:
+                self._call(
+                    self._client.ship_pointers([op[1] for op in run])
+                )
+            i = j
+
+    def finish_snapshot(self, snapshot_id: str) -> TransferLog:
+        self._require_open(snapshot_id)
+        self.flush()
+        log = self._call(self._client.finish_snapshot(snapshot_id))
+        self._open = None
+        return log
+
+    def restore(self, snapshot_id: str) -> bytes:
+        return self._call(self._client.restore(snapshot_id))
+
+    def list_snapshots(self) -> list[str]:
+        return self._call(self._client.list_snapshots())
+
+    def backup(self, data: bytes, snapshot_id: str, **kwargs) -> RemoteBackupReport:
+        """The pipelined remote backup, callable synchronously."""
+        return self._call(self._client.backup(data, snapshot_id, **kwargs))
+
+    def close(self) -> None:
+        if self._loop.is_closed():
+            return
+        try:
+            self._call(self._client.close())
+        except Exception:
+            pass
+        self._shutdown_loop()
+
+    def __enter__(self) -> "RemoteAgent":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

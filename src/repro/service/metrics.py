@@ -1,0 +1,113 @@
+"""Service health/metrics surface.
+
+One aggregated snapshot per server: the service-level counters kept
+here (connections, sessions, frames, backpressure), each tenant's
+traffic and dedup effectiveness, the shared store's occupancy, and the
+process-wide instrumentation that already existed —
+:func:`repro.core.stats.snapshot` merges the scan counters, stage
+timers, and every live ``BackendStats``/``NodeStats`` — exported as
+JSON (``GET /metrics``), Prometheus-style plain text
+(``GET /metrics?format=text``), and a cheap liveness answer
+(``GET /health``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+
+from repro.core import stats as core_stats
+
+__all__ = ["ServiceMetrics", "render_text"]
+
+
+@dataclass
+class ServiceMetrics:
+    """Counters the asyncio server maintains (thread-safe increments)."""
+
+    started_at: float = field(default_factory=time.time)
+    connections_total: int = 0
+    connections_active: int = 0
+    sessions_total: int = 0
+    sessions_active: int = 0
+    sessions_rejected: int = 0
+    http_requests: int = 0
+    frames_received: int = 0
+    frames_sent: int = 0
+    errors_sent: int = 0
+    #: Backpressure: how often the per-connection reader had to wait on
+    #: a full ingest queue (socket reads paused), and the deepest any
+    #: connection's queue ever got — bounded by the configured depth.
+    backpressure_waits: int = 0
+    max_queue_depth: int = 0
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def add(self, **deltas: int) -> None:
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
+
+    def observe_queue_depth(self, depth: int) -> None:
+        with self._lock:
+            if depth > self.max_queue_depth:
+                self.max_queue_depth = depth
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            data = {
+                k: v
+                for k, v in asdict(self).items()
+                if not k.startswith("_")
+            }
+        data["uptime_s"] = time.time() - data.pop("started_at")
+        return data
+
+
+def service_snapshot(service) -> dict:
+    """The one merged metrics document for a running service."""
+    store = service.store
+    tenants = {}
+    for namespace in service.tenants:
+        tenants[namespace.name] = {
+            **asdict(namespace.counters),
+            "index_chunks": len(namespace.index),
+            "dedup": asdict(namespace.index.stats),
+        }
+    return {
+        "service": service.metrics.to_dict(),
+        "store": {
+            "backend": service.storage_kind,
+            "store_backend": service.config.store_backend,
+            "chunks": store.chunk_count,
+            "stored_bytes": store.stored_bytes,
+            "snapshots": store.snapshot_count,
+        },
+        "tenants": tenants,
+        "core": core_stats.snapshot(),
+    }
+
+
+def render_json(snapshot: dict) -> bytes:
+    return json.dumps(snapshot, indent=2, sort_keys=True).encode()
+
+
+def _flatten(prefix: str, value, out: list[str]) -> None:
+    if isinstance(value, dict):
+        for key, sub in value.items():
+            _flatten(f"{prefix}_{key}" if prefix else str(key), sub, out)
+    elif isinstance(value, bool):
+        out.append(f"{prefix} {int(value)}")
+    elif isinstance(value, (int, float)):
+        out.append(f"{prefix} {value}")
+    # strings/None are labels, not series — skipped in the text format
+
+
+def render_text(snapshot: dict) -> bytes:
+    """Prometheus-style ``name value`` lines from the nested snapshot."""
+    lines: list[str] = []
+    _flatten("repro", snapshot, lines)
+    return ("\n".join(sorted(lines)) + "\n").encode()

@@ -1,0 +1,638 @@
+"""The asyncio backup service: multi-tenant daemon over the wire API.
+
+Serves the agent protocol (:mod:`repro.service.protocol`) on one
+listening socket.  Connections self-identify in the first five bytes:
+the ``SHRD1`` magic starts an agent session, an HTTP verb gets the
+health/metrics surface, anything else is dropped with one ERROR frame.
+
+**Backpressure is structural, not advisory.**  Each agent connection
+runs two coroutines joined by a *bounded* ``asyncio.Queue``: the reader
+parses frames and ``await put()``s them — when the ingest worker falls
+behind, the queue fills, the put blocks, and the reader simply stops
+reading the socket, so kernel TCP flow control pushes back on the
+client; nothing server-side ever buffers more than ``queue_depth``
+frames per connection.  The same bounded-queue discipline the in-process
+pipeline uses (`pipeline_chunks`' pinned-ring role) extended across the
+wire.
+
+**Admission control**: at most ``max_sessions`` concurrent agent
+sessions; excess HELLOs receive ``ERROR[BUSY]`` and a clean close.
+
+**Store discipline**: all index/store mutations run on the event-loop
+thread — the service is the paper's single Store thread, made explicit;
+concurrency lives in the sockets, the clients' local chunk+hash
+pipelines, and the batched shapes of every store call.  Dedup decisions
+are tenant-scoped (see :mod:`repro.service.tenant`); payloads and
+recipes live on the shared single-node store or cluster, so a server
+restarted on the same ``data_dir`` resumes serving the same snapshots.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.backup.agent import ShredderAgent
+from repro.backup.store import ChunkStore
+from repro.service import protocol as wire
+from repro.service.metrics import (
+    ServiceMetrics,
+    render_json,
+    render_text,
+    service_snapshot,
+)
+from repro.service.protocol import Err, Msg
+from repro.service.tenant import TenantRegistry
+from repro.store.backend import resolve_backend
+from repro.store.cluster import ChunkStoreCluster
+from repro.store.lookup import LookupCostModel
+from repro.store.schemes import make_scheme
+
+__all__ = ["ServiceConfig", "BackupService", "SessionError"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Backup-service configuration."""
+
+    host: str = "127.0.0.1"
+    #: 0 binds an ephemeral port (read it back from ``service.port``).
+    port: int = 0
+    #: Storage backend for all shared + tenant state ("memory"|"disk";
+    #: ``None`` follows ``REPRO_STORE_BACKEND``).
+    backend: str | None = None
+    #: Root for disk-backed state (``site/`` or ``cluster/`` +
+    #: ``tenants/<name>/index``); ``None`` + disk = ephemeral tempdirs.
+    data_dir: str | None = None
+    #: Backup-site payload store: "single" | "cluster".
+    store_backend: str = "single"
+    cluster_nodes: int = 4
+    placement: str = "replicated"
+    replication: int = 2
+    stripe_width: int = 4
+    lookup_batch_size: int = 128
+    #: Concurrent agent sessions admitted before ERROR[BUSY].
+    max_sessions: int = 64
+    #: Bounded ingest queue per connection — the backpressure limit.
+    queue_depth: int = 4
+    #: In-flight unacked batches the server advertises to clients.
+    window: int = 4
+    max_frame: int = wire.DEFAULT_MAX_FRAME
+    #: RESTORE_DATA piece size.
+    restore_piece: int = 1 << 20
+
+    def __post_init__(self) -> None:
+        resolve_backend(self.backend, self.data_dir)  # raises on bad kind
+        if self.store_backend not in ("single", "cluster"):
+            raise ValueError(f"unknown store backend {self.store_backend!r}")
+        if self.max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if self.restore_piece < 1:
+            raise ValueError("restore_piece must be >= 1")
+
+
+class SessionError(Exception):
+    """Protocol-level failure inside a session; carries the wire code."""
+
+    def __init__(self, code: Err, message: str, *, fatal: bool = False) -> None:
+        super().__init__(message)
+        self.code = code
+        #: Fatal errors close the connection after the ERROR frame
+        #: (corrupted payloads mean an untrustworthy peer); non-fatal
+        #: ones leave the session usable.
+        self.fatal = fatal
+
+
+class _WireChunk:
+    """Chunk-shaped record for the tenant index's batched probe."""
+
+    __slots__ = ("digest", "length", "offset")
+
+    def __init__(self, digest: bytes, length: int, offset: int) -> None:
+        self.digest = digest
+        self.length = length
+        self.offset = offset
+
+
+class BackupService:
+    """Long-running multi-tenant backup daemon."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = cfg = config or ServiceConfig()
+        self.storage_kind = resolve_backend(cfg.backend, cfg.data_dir)
+        data_dir = Path(cfg.data_dir) if cfg.data_dir is not None else None
+        if cfg.store_backend == "cluster":
+            self.store = ChunkStoreCluster(
+                n_nodes=cfg.cluster_nodes,
+                scheme=make_scheme(
+                    cfg.placement,
+                    replicas=cfg.replication,
+                    stripe_width=cfg.stripe_width,
+                ),
+                batch_size=cfg.lookup_batch_size,
+                cost_model=LookupCostModel(),
+                backend=self.storage_kind,
+                data_dir=data_dir / "cluster" if data_dir is not None else None,
+            )
+        else:
+            self.store = ChunkStore(
+                backend=self.storage_kind,
+                data_dir=data_dir / "site" if data_dir is not None else None,
+            )
+        self.agent = ShredderAgent(store=self.store)
+        self.registry = TenantRegistry(
+            backend=self.storage_kind, data_dir=data_dir
+        )
+        self.metrics = ServiceMetrics()
+        self._server: asyncio.base_events.Server | None = None
+        self._session_seq = 0
+        self._active_sessions = 0
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._closed = False
+        self.port: int | None = cfg.port if cfg.port else None
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def tenants(self):
+        return iter(self.registry)
+
+    async def start(self) -> None:
+        """Bind and start accepting; ``self.port`` is then concrete."""
+        if self._server is not None:
+            raise RuntimeError("service already started")
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting, drop connections, close all state owners."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self.close()
+
+    def close(self) -> None:
+        """Synchronous state teardown (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        # Abort any sessions a dead connection left open: no recipe is
+        # ever written for a half-shipped snapshot.
+        for scoped in self.agent.open_snapshots:
+            self.agent.abort_snapshot(scoped)
+        self.registry.close()
+        self.store.close()
+
+    async def __aenter__(self) -> "BackupService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # -- connection dispatch -------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        self.metrics.add(connections_total=1, connections_active=1)
+        try:
+            try:
+                first = await reader.readexactly(len(wire.MAGIC))
+            except asyncio.IncompleteReadError:
+                return
+            if first == wire.MAGIC:
+                await self._agent_session(reader, writer)
+            elif first[:4] in (b"GET ", b"HEAD", b"POST"):
+                await self._http_request(first, reader, writer)
+            else:
+                await self._send_error(
+                    writer, Err.BAD_FRAME, "expected SHRD1 magic or HTTP"
+                )
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+        ):
+            pass  # peer vanished; per-session cleanup already ran
+        except asyncio.CancelledError:
+            # stop() cancelled us; end in a normal (not cancelled) state
+            # so the stream protocol's done-callback stays quiet.
+            pass
+        finally:
+            self.metrics.add(connections_active=-1)
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _send_frame(self, writer, msg: Msg, payload: bytes = b"") -> None:
+        writer.write(wire.encode_frame(msg, payload))
+        await writer.drain()
+        self.metrics.add(frames_sent=1)
+
+    async def _send_error(self, writer, code: Err, message: str) -> None:
+        self.metrics.add(errors_sent=1)
+        await self._send_frame(writer, Msg.ERROR, wire.encode_error(code, message))
+
+    # -- agent sessions ------------------------------------------------
+
+    async def _agent_session(self, reader, writer) -> None:
+        cfg = self.config
+        msg, payload = await wire.read_frame(reader, cfg.max_frame)
+        self.metrics.add(frames_received=1)
+        if msg is not Msg.HELLO:
+            await self._send_error(writer, Err.BAD_FRAME, "expected HELLO")
+            return
+        version, tenant_name, _client_name = wire.decode_hello(payload)
+        if version != wire.PROTOCOL_VERSION:
+            await self._send_error(
+                writer,
+                Err.VERSION_MISMATCH,
+                f"server speaks protocol {wire.PROTOCOL_VERSION}, "
+                f"client sent {version}",
+            )
+            return
+        if self._active_sessions >= cfg.max_sessions:
+            self.metrics.add(sessions_rejected=1)
+            await self._send_error(
+                writer,
+                Err.BUSY,
+                f"session limit {cfg.max_sessions} reached",
+            )
+            return
+        try:
+            namespace = self.registry.get(tenant_name)
+        except ValueError as exc:
+            await self._send_error(writer, Err.BAD_TENANT, str(exc))
+            return
+        self._session_seq += 1
+        session_id = f"{tenant_name}-{self._session_seq}"
+        self._active_sessions += 1
+        self.metrics.add(sessions_total=1, sessions_active=1)
+        namespace.counters.sessions += 1
+        session = _Session(self, namespace, reader, writer)
+        try:
+            await self._send_frame(
+                writer,
+                Msg.HELLO_OK,
+                wire.encode_hello_ok(session_id, cfg.window),
+            )
+            await session.run()
+        finally:
+            self._active_sessions -= 1
+            self.metrics.add(sessions_active=-1)
+            session.abort_open()
+
+    # -- HTTP surface --------------------------------------------------
+
+    async def _http_request(self, first: bytes, reader, writer) -> None:
+        self.metrics.add(http_requests=1)
+        try:
+            rest = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), timeout=5.0
+            )
+        except (asyncio.IncompleteReadError, asyncio.TimeoutError):
+            rest = b"\r\n\r\n"
+        request_line = (first + rest).split(b"\r\n", 1)[0].decode(
+            "latin-1", "replace"
+        )
+        parts = request_line.split()
+        target = parts[1] if len(parts) > 1 else "/"
+        path, _, query = target.partition("?")
+        if path == "/health":
+            body = render_json(
+                {
+                    "status": "ok",
+                    "sessions_active": self._active_sessions,
+                    "port": self.port,
+                    "store_backend": self.config.store_backend,
+                    "backend": self.storage_kind,
+                }
+            )
+            content_type = "application/json"
+            status = "200 OK"
+        elif path == "/metrics":
+            snapshot = service_snapshot(self)
+            if "format=text" in query or path.endswith(".txt"):
+                body = render_text(snapshot)
+                content_type = "text/plain; charset=utf-8"
+            else:
+                body = render_json(snapshot)
+                content_type = "application/json"
+            status = "200 OK"
+        else:
+            body = b'{"error": "unknown path; try /health or /metrics"}'
+            content_type = "application/json"
+            status = "404 Not Found"
+        writer.write(
+            (
+                f"HTTP/1.0 {status}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode()
+        )
+        writer.write(body)
+        await writer.drain()
+
+
+class _Session:
+    """One agent connection: bounded-queue reader + ingest worker."""
+
+    _EOF = object()
+
+    def __init__(self, service: BackupService, namespace, reader, writer) -> None:
+        self.service = service
+        self.namespace = namespace
+        self.reader = reader
+        self.writer = writer
+        self.queue: asyncio.Queue = asyncio.Queue(
+            maxsize=service.config.queue_depth
+        )
+        #: Scoped id of the one snapshot this session may have open.
+        self.open_scoped: str | None = None
+
+    def abort_open(self) -> None:
+        if self.open_scoped is not None:
+            try:
+                self.service.agent.abort_snapshot(self.open_scoped)
+            except ValueError:
+                pass  # finished/aborted in the worker already
+            self.namespace.counters.snapshots_aborted += 1
+            self.open_scoped = None
+
+    async def run(self) -> None:
+        worker = asyncio.create_task(self._worker())
+        try:
+            await self._read_loop()
+        finally:
+            # Wake the worker with EOF if the reader died first; it
+            # drains what was queued, then exits.
+            if not worker.done():
+                await self.queue.put(self._EOF)
+            try:
+                await worker
+            except asyncio.CancelledError:
+                raise
+
+
+    async def _read_loop(self) -> None:
+        metrics = self.service.metrics
+        max_frame = self.service.config.max_frame
+        while True:
+            try:
+                frame = await wire.read_frame(self.reader, max_frame)
+            except asyncio.IncompleteReadError:
+                return  # clean EOF
+            except wire.ProtocolError as exc:
+                await self.queue.put(("protocol-error", str(exc)))
+                return
+            metrics.add(frames_received=1)
+            if self.queue.full():
+                # The bounded queue is the backpressure seam: this put
+                # blocks, this coroutine stops reading the socket, and
+                # TCP flow control does the rest.
+                metrics.add(backpressure_waits=1)
+            await self.queue.put(frame)
+            metrics.observe_queue_depth(self.queue.qsize())
+
+    async def _worker(self) -> None:
+        while True:
+            item = await self.queue.get()
+            if item is self._EOF:
+                return
+            if isinstance(item, tuple) and item[0] == "protocol-error":
+                await self.service._send_error(
+                    self.writer, Err.BAD_FRAME, item[1]
+                )
+                return
+            msg, payload = item
+            try:
+                await self._dispatch(msg, payload)
+            except SessionError as exc:
+                await self.service._send_error(self.writer, exc.code, str(exc))
+                if exc.fatal:
+                    self.abort_open()
+                    return
+            except (ConnectionResetError, BrokenPipeError):
+                return
+            except Exception as exc:  # noqa: BLE001 — wire boundary
+                try:
+                    await self.service._send_error(
+                        self.writer, Err.INTERNAL, f"{type(exc).__name__}: {exc}"
+                    )
+                except (ConnectionResetError, BrokenPipeError):
+                    pass
+                self.abort_open()
+                return
+
+    # -- frame handlers ------------------------------------------------
+
+    async def _dispatch(self, msg: Msg, payload: bytes) -> None:
+        try:
+            handler = {
+                Msg.BEGIN_SNAPSHOT: self._on_begin,
+                Msg.DIGEST_BATCH: self._on_digest_batch,
+                Msg.CHUNK_BATCH: self._on_chunk_batch,
+                Msg.POINTER_BATCH: self._on_pointer_batch,
+                Msg.FINISH: self._on_finish,
+                Msg.RESTORE: self._on_restore,
+                Msg.LIST_SNAPSHOTS: self._on_list,
+            }[msg]
+        except KeyError:
+            raise SessionError(
+                Err.BAD_FRAME, f"unexpected {msg.name} frame", fatal=True
+            ) from None
+        await handler(payload)
+
+    def _require_open(self) -> str:
+        if self.open_scoped is None:
+            raise SessionError(
+                Err.UNKNOWN_SNAPSHOT, "no snapshot is open on this session"
+            )
+        return self.open_scoped
+
+    async def _on_begin(self, payload: bytes) -> None:
+        snapshot_id = wire.decode_snapshot_id(payload)
+        if self.open_scoped is not None:
+            raise SessionError(
+                Err.SNAPSHOT_EXISTS,
+                "a snapshot is already open on this session",
+            )
+        try:
+            scoped = self.namespace.scoped_id(snapshot_id)
+        except ValueError as exc:
+            raise SessionError(Err.BAD_FRAME, str(exc)) from None
+        try:
+            self.service.store.get_recipe(scoped)
+        except KeyError:
+            pass
+        else:
+            raise SessionError(
+                Err.SNAPSHOT_EXISTS, f"snapshot {snapshot_id!r} already stored"
+            )
+        try:
+            self.service.agent.begin_snapshot(scoped)
+        except ValueError as exc:
+            raise SessionError(Err.SNAPSHOT_EXISTS, str(exc)) from None
+        self.open_scoped = scoped
+        self.namespace.counters.snapshots_begun += 1
+        await self.service._send_frame(self.writer, Msg.BEGIN_OK)
+
+    async def _on_digest_batch(self, payload: bytes) -> None:
+        mode, digests, lengths = wire.decode_digest_batch(payload)
+        store = self.service.store
+        if mode == wire.MODE_QUERY:
+            # Read-only membership against the *shared* payload store:
+            # the remote has_chunk — it reveals only chunks the caller
+            # could fetch anyway (its own restores go through it too).
+            flags = store.has_chunks(digests)
+        else:
+            self._require_open()
+            # Tenant-scoped dedup decision, exactly the in-process
+            # single-store shape: lookup_or_insert on the tenant index,
+            # then force a re-ship when the index outlived the payload
+            # (GC or restart skew) so pointers can never dangle.
+            counters = self.namespace.counters
+            chunks = []
+            offset = counters.bytes_received
+            for digest, length in zip(digests, lengths):
+                chunks.append(_WireChunk(digest, length, offset))
+                offset += length
+            decisions = [
+                is_dup
+                for is_dup, _ in self.namespace.index.lookup_or_insert_batch(
+                    chunks
+                )
+            ]
+            dup_digests = [
+                d for d, is_dup in zip(digests, decisions) if is_dup
+            ]
+            if dup_digests:
+                present = dict(zip(dup_digests, store.has_chunks(dup_digests)))
+                decisions = [
+                    is_dup and present.get(digest, True)
+                    for digest, is_dup in zip(digests, decisions)
+                ]
+            flags = decisions
+        await self.service._send_frame(
+            self.writer, Msg.DIGEST_REPLY, wire.encode_digest_reply(flags)
+        )
+
+    async def _on_chunk_batch(self, payload: bytes) -> None:
+        scoped = self._require_open()
+        items = wire.decode_chunk_batch(payload)
+        try:
+            self.service.agent.receive_chunks(scoped, items)
+        except ValueError as exc:
+            # A digest/payload mismatch means bytes were corrupted in
+            # flight (or the peer lies about content): fail loudly and
+            # drop the connection — nothing of this batch was stored.
+            raise SessionError(Err.DIGEST_MISMATCH, str(exc), fatal=True) from None
+        received = sum(len(data) for _, data in items)
+        counters = self.namespace.counters
+        counters.chunks_received += len(items)
+        counters.bytes_received += received
+        await self.service._send_frame(
+            self.writer, Msg.BATCH_OK, wire.encode_batch_ok(len(items), received)
+        )
+
+    async def _on_pointer_batch(self, payload: bytes) -> None:
+        scoped = self._require_open()
+        digests = wire.decode_pointer_batch(payload)
+        try:
+            self.service.agent.receive_pointers(scoped, digests)
+        except KeyError as exc:
+            raise SessionError(
+                Err.UNKNOWN_CHUNK, str(exc.args[0]), fatal=True
+            ) from None
+        self.namespace.counters.pointers_received += len(digests)
+        await self.service._send_frame(
+            self.writer, Msg.BATCH_OK, wire.encode_batch_ok(len(digests), 0)
+        )
+
+    async def _on_finish(self, payload: bytes) -> None:
+        snapshot_id = wire.decode_snapshot_id(payload)
+        scoped = self._require_open()
+        if self.namespace.unscope(scoped) != snapshot_id:
+            raise SessionError(
+                Err.UNKNOWN_SNAPSHOT,
+                f"snapshot {snapshot_id!r} is not the open one",
+            )
+        log = self.service.agent.finish_snapshot(scoped)
+        self.open_scoped = None
+        self.namespace.counters.snapshots_finished += 1
+        await self.service._send_frame(
+            self.writer,
+            Msg.FINISH_OK,
+            wire.encode_finish_ok(
+                log.chunks_received, log.pointers_received, log.bytes_received
+            ),
+        )
+
+    async def _on_restore(self, payload: bytes) -> None:
+        snapshot_id = wire.decode_snapshot_id(payload)
+        try:
+            scoped = self.namespace.scoped_id(snapshot_id)
+        except ValueError as exc:
+            raise SessionError(Err.BAD_FRAME, str(exc)) from None
+        try:
+            recipe = self.service.store.get_recipe(scoped)
+            data = self.service.store.restore(scoped)
+        except KeyError:
+            raise SessionError(
+                Err.UNKNOWN_SNAPSHOT,
+                f"no snapshot {snapshot_id!r} for tenant "
+                f"{self.namespace.name!r}",
+            ) from None
+        counters = self.namespace.counters
+        counters.restores += 1
+        counters.bytes_restored += len(data)
+        await self.service._send_frame(
+            self.writer,
+            Msg.RESTORE_BEGIN,
+            wire.encode_restore_begin(len(data), len(recipe.digests)),
+        )
+        piece = self.service.config.restore_piece
+        view = memoryview(data)
+        for off in range(0, len(view), piece):
+            await self.service._send_frame(
+                self.writer, Msg.RESTORE_DATA, bytes(view[off : off + piece])
+            )
+        await self.service._send_frame(self.writer, Msg.RESTORE_END)
+
+    async def _on_list(self, payload: bytes) -> None:
+        if payload:
+            raise SessionError(Err.BAD_FRAME, "LIST_SNAPSHOTS takes no payload")
+        mine = []
+        for scoped in self.service.store.snapshot_ids():
+            local = self.namespace.unscope(scoped)
+            if local is not None:
+                mine.append(local)
+        await self.service._send_frame(
+            self.writer, Msg.SNAPSHOT_LIST, wire.encode_snapshot_list(mine)
+        )

@@ -95,6 +95,13 @@ def _record_store(seconds: float) -> None:
     stats.record_stage("store", seconds)
 
 
+def _register_stats(stats_obj: "BackendStats") -> None:
+    """Enroll this backend's counters in the process-wide snapshot."""
+    from repro.core import stats
+
+    stats.register_backend_stats(stats_obj)
+
+
 @dataclass
 class BackendStats:
     """Operation counters shared by every backend implementation.
@@ -178,6 +185,7 @@ class MemoryBackend:
         self._data: dict[bytes, bytes] = {}
         self._value_bytes = 0
         self.stats = BackendStats()
+        _register_stats(self.stats)
 
     def contains_batch(self, keys: Sequence[bytes]) -> list[bool]:
         self.stats.batches += 1
@@ -317,6 +325,7 @@ class PersistentBackend:
         self.compact_fanout = compact_fanout
         self.bloom_fp_rate = bloom_fp_rate
         self.stats = BackendStats()
+        _register_stats(self.stats)
         self._ephemeral = _ephemeral
         self._closed = False
         self.directory.mkdir(parents=True, exist_ok=True)
@@ -894,6 +903,10 @@ class RecipeStore:
 
     def __len__(self) -> int:
         return len(self._backend)
+
+    def ids(self) -> list[str]:
+        """Sorted snapshot ids without decoding the recipes."""
+        return sorted(key.decode() for key in self._backend.keys())
 
     def __iter__(self) -> Iterator["SnapshotRecipe"]:
         for key in list(self._backend.keys()):

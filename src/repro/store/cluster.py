@@ -160,6 +160,11 @@ class ChunkStoreCluster:
     def has_chunk(self, digest: bytes) -> bool:
         return self._holder(digest) is not None
 
+    def put_chunks(self, items) -> list[bool]:
+        """Store a batch of ``(digest, data)``; placement is per digest,
+        so this is a convenience loop, not a single backend write."""
+        return [self.put_chunk(digest, data) for digest, data in items]
+
     def get_chunk(self, digest: bytes) -> bytes:
         node = self._holder(digest)
         if node is None:
@@ -182,6 +187,14 @@ class ChunkStoreCluster:
 
     def get_recipe(self, snapshot_id: str) -> SnapshotRecipe:
         return self._recipes.get(snapshot_id)
+
+    def snapshot_ids(self) -> list[str]:
+        """Sorted ids of every stored snapshot recipe."""
+        return self._recipes.ids()
+
+    def has_chunks(self, digests) -> list[bool]:
+        """Batched membership straight through replica resolution."""
+        return [self._holder(d) is not None for d in digests]
 
     def restore(self, snapshot_id: str) -> bytes:
         """Reassemble a snapshot, pulling each chunk from any replica."""

@@ -28,6 +28,17 @@ from repro.store.bloom import BloomFilter
 __all__ = ["NodeDownError", "NodeStats", "ProbeResult", "StoreNode"]
 
 
+def _register_node_stats(stats_obj: "NodeStats") -> None:
+    """Enroll this node's counters in the process-wide stats snapshot.
+
+    Lazy import: core.stats sits in a different layer of the import
+    graph, same discipline as the backend's stage-timer hook.
+    """
+    from repro.core import stats
+
+    stats.register_node_stats(stats_obj)
+
+
 class NodeDownError(RuntimeError):
     """Raised when an operation reaches a failed node."""
 
@@ -68,6 +79,7 @@ class StoreNode:
         self.node_id = node_id
         self.alive = True
         self.stats = NodeStats()
+        _register_node_stats(self.stats)
         self._bloom_fp_rate = bloom_fp_rate
         self._backend = backend if backend is not None else make_backend()
         self._bloom = BloomFilter(bloom_capacity, bloom_fp_rate)

@@ -285,8 +285,15 @@ def _remote_backup(args, data: bytes) -> int:
     from repro.service.protocol import RemoteError
 
     host, port = _parse_remote(args.remote)
+    retry = None
+    if args.retry:
+        from repro.service import RetryPolicy
+
+        retry = RetryPolicy(attempts=max(1, args.retry))
     try:
-        agent = RemoteAgent(host, port, tenant=args.tenant, client_name="cli")
+        agent = RemoteAgent(
+            host, port, tenant=args.tenant, client_name="cli", retry=retry
+        )
     except (OSError, RemoteError) as exc:
         raise SystemExit(f"cannot reach backup service at {args.remote}: {exc}")
     with agent:
@@ -308,6 +315,10 @@ def _remote_backup(args, data: bytes) -> int:
           f"({report.dedup_fraction:.1%} duplicate chunks)")
     print(f"  wire ingest: {report.ingest_mib_s:.1f} MiB/s "
           f"({report.elapsed_s:.2f} s wall)")
+    if report.reconnects or report.resumes or report.replayed_frames:
+        print(f"  survived the wire: {report.reconnects} reconnects, "
+              f"{report.resumes} resumes, {report.replayed_frames} "
+              "unacked frames replayed (acked chunks never re-shipped)")
     print("  restore verified byte-exact")
     return 0
 
@@ -391,6 +402,12 @@ def cmd_cluster(args) -> int:
             table.add(node_id, node.chunk_count, node.stored_bytes,
                       "up" if node.alive else "DOWN")
         print(format_table(table))
+        if cluster.fault_plan is not None:
+            injected = cluster.fault_plan.stats
+            print(f"  chaos plan {cluster.fault_plan.describe()!r}: "
+                  f"{injected.total} faults injected, "
+                  f"{cluster.stats.degraded_reads} degraded reads, "
+                  f"{cluster.stats.repairs_auto} auto-repairs")
         if args.fail_node:
             victim = max(
                 cluster.nodes, key=lambda nid: cluster.nodes[nid].chunk_count
@@ -429,6 +446,11 @@ def cmd_serve(args) -> int:
             cluster_nodes=args.nodes,
             max_sessions=args.max_sessions,
             queue_depth=args.queue_depth,
+            faults=args.faults,
+            stall_timeout_s=args.stall_timeout,
+            resume_grace_s=args.resume_grace,
+            drain_s=args.drain,
+            heartbeat_s=args.heartbeat,
         )
     except ValueError as exc:
         raise SystemExit(f"serve config rejected: {exc}")
@@ -448,6 +470,8 @@ def cmd_serve(args) -> int:
               f"store, <= {config.max_sessions} sessions)")
         print("  agent wire protocol (SHRD1) + HTTP /health /metrics "
               "on the same port; Ctrl-C or SIGTERM to stop")
+        if service.fault_plan is not None:
+            print(f"  CHAOS ACTIVE: {service.fault_plan.describe()}")
         sys.stdout.flush()
         try:
             await stop.wait()
@@ -568,6 +592,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_backup.add_argument("--tenant", default="default",
                           help="tenant namespace for --remote (snapshots "
                           "and dedup decisions are tenant-scoped)")
+    p_backup.add_argument("--retry", type=int, default=0, metavar="N",
+                          help="survive connection loss: redial up to N "
+                          "times per outage and resume the snapshot "
+                          "without re-shipping acked chunks (--remote)")
     add_threads_arg(p_backup)
     p_backup.set_defaults(fn=cmd_backup)
 
@@ -595,6 +623,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--queue-depth", type=int, default=4,
                          help="bounded per-connection ingest queue (frames); "
                          "the backpressure limit")
+    p_serve.add_argument("--faults", default=None, metavar="SPEC",
+                         help="chaos plan, e.g. 'seed=7,backend.io_error="
+                         "0.01,wire.drop=0.02,node.kill=node-1:150' "
+                         "(default: REPRO_FAULTS env; '' forces off)")
+    p_serve.add_argument("--stall-timeout", type=float, default=None,
+                         metavar="SECS",
+                         help="evict a session that sends no frame for this "
+                         "long (default: no eviction)")
+    p_serve.add_argument("--resume-grace", type=float, default=30.0,
+                         metavar="SECS",
+                         help="how long an interrupted mid-backup session "
+                         "stays parked for RESUME (0 disables resume)")
+    p_serve.add_argument("--drain", type=float, default=5.0, metavar="SECS",
+                         help="max wait for busy sessions to finish on "
+                         "shutdown before aborting them")
+    p_serve.add_argument("--heartbeat", type=float, default=None,
+                         metavar="SECS",
+                         help="cluster failure-detector heartbeat period "
+                         "(--store-backend cluster; default: off)")
     add_threads_arg(p_serve)
     p_serve.set_defaults(fn=cmd_serve)
 

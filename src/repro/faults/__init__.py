@@ -1,0 +1,46 @@
+"""Seeded, deterministic fault injection for chaos drills.
+
+The paper's backup site only earns its keep if a backup that starts
+finishes correctly when disks tear records, shard nodes die mid-batch,
+and WAN connections stall.  This package is the *injection* half of
+that story: a :class:`FaultPlan` parsed from a compact spec string
+(``REPRO_FAULTS`` env var or ``repro serve --faults``) drives
+
+* :class:`FaultyBackend` — a decorator implementing the full
+  ``ChunkBackend`` protocol that injects I/O errors, latency, torn
+  writes, bit flips, and a one-shot node death into any real backend;
+* :class:`WireFaultInjector` — per-connection frame faults for the
+  backup service (connection drops, stalls, garbled payloads).
+
+Every random draw comes from a ``random.Random`` seeded from the
+plan's seed plus the component name, so a given spec replays the same
+fault sequence run after run — chaos tests are deterministic, and a CI
+failure reproduces locally from the spec string alone.
+
+The *survival* half lives elsewhere: the failure detector and degraded
+reads in :mod:`repro.store`, and retry/resume in :mod:`repro.service`.
+"""
+
+from repro.faults.backend import FaultyBackend
+from repro.faults.plan import (
+    FAULTS_ENV,
+    BackendFaultSpec,
+    FaultPlan,
+    FaultStats,
+    InjectedFault,
+    KillSpec,
+    WireFaultSpec,
+)
+from repro.faults.wire import WireFaultInjector
+
+__all__ = [
+    "FAULTS_ENV",
+    "BackendFaultSpec",
+    "FaultPlan",
+    "FaultStats",
+    "FaultyBackend",
+    "InjectedFault",
+    "KillSpec",
+    "WireFaultInjector",
+    "WireFaultSpec",
+]

@@ -1,0 +1,65 @@
+"""Per-connection wire-fault injection for the backup service.
+
+The service's session read loop consults one injector per connection
+*after* framing a complete message and *before* dispatching it, so an
+injected fault is always a whole-frame event:
+
+* **drop** — the server aborts the connection; the frame is discarded
+  before any state changes (the client sees a reset mid-backup and must
+  reconnect + resume);
+* **stall** — the server sleeps before processing (exercises client
+  per-op timeouts and the server's own stall eviction);
+* **garble** — one payload byte is flipped before dispatch (framing
+  stays intact, so the handler sees a syntactically valid but corrupt
+  message — digest verification must catch it).
+
+At most one action fires per frame, drawn in drop > stall > garble
+order from the connection's seeded RNG.
+"""
+
+from __future__ import annotations
+
+from repro.faults.plan import FaultStats, WireFaultSpec
+
+__all__ = ["WireFaultInjector"]
+
+#: Frame actions returned by :meth:`WireFaultInjector.frame_action`.
+DROP = "drop"
+STALL = "stall"
+GARBLE = "garble"
+
+
+class WireFaultInjector:
+    """Seeded per-connection frame-fault decisions."""
+
+    def __init__(self, spec: WireFaultSpec, rng, stats: FaultStats) -> None:
+        self.spec = spec
+        self._rng = rng
+        self.fault_stats = stats
+
+    def frame_action(self) -> tuple | None:
+        """The fault (if any) to apply to the next inbound frame.
+
+        Returns ``None``, ``("drop",)``, ``("stall", seconds)`` or
+        ``("garble",)``.
+        """
+        spec = self.spec
+        if spec.drop and self._rng.random() < spec.drop:
+            self.fault_stats.add("wire_drops")
+            return (DROP,)
+        if spec.stall and self._rng.random() < spec.stall:
+            self.fault_stats.add("wire_stalls")
+            return (STALL, spec.stall_s)
+        if spec.garble and self._rng.random() < spec.garble:
+            self.fault_stats.add("wire_garbles")
+            return (GARBLE,)
+        return None
+
+    def garble(self, payload: bytes) -> bytes:
+        """Flip one bit of a non-empty payload (empty passes through)."""
+        if not payload:
+            return payload
+        corrupt = bytearray(payload)
+        bit = self._rng.randrange(len(corrupt) * 8)
+        corrupt[bit // 8] ^= 1 << (bit % 8)
+        return bytes(corrupt)

@@ -32,6 +32,7 @@ from repro.service.client import (
     AsyncBackupClient,
     RemoteAgent,
     RemoteBackupReport,
+    RetryPolicy,
 )
 from repro.service.metrics import ServiceMetrics
 
@@ -48,5 +49,6 @@ __all__ = [
     "AsyncBackupClient",
     "RemoteAgent",
     "RemoteBackupReport",
+    "RetryPolicy",
     "ServiceMetrics",
 ]

@@ -20,14 +20,29 @@ pointer-sized digests, which is the §7 bandwidth story end to end.
 ``receive_chunk`` / ``receive_pointer`` / ``finish_snapshot`` /
 ``restore`` + a ``store``-shaped proxy), so existing in-process callers
 can point at a remote service without restructuring.
+
+**Resilience** — pass a :class:`RetryPolicy` and the client survives
+the network: every request carries a per-op timeout, a dropped
+connection is redialed with bounded exponential backoff, and an open
+snapshot resumes where it left off.  ``begin_snapshot`` generates a
+client-side resume token; after a reconnect the client sends RESUME and
+the server answers with its applied-frame high-water mark, so only
+frames the server never applied are replayed — acked chunks never cross
+the wire twice.  Without a policy the client behaves exactly like
+protocol v1: no token, no parking, errors propagate on first failure.
 """
 
 from __future__ import annotations
 
 import asyncio
 import concurrent.futures
+import random
+import secrets
+import socket
+import struct
 import threading
 import time
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -38,10 +53,72 @@ from repro.core.shredder import Shredder, ShredderConfig
 from repro.service import protocol as wire
 from repro.service.protocol import Err, Msg, RemoteError
 
-__all__ = ["AsyncBackupClient", "RemoteAgent", "RemoteBackupReport"]
+__all__ = [
+    "AsyncBackupClient",
+    "RemoteAgent",
+    "RemoteBackupReport",
+    "RetryPolicy",
+]
 
 #: Digested batches buffered between the feeder thread and the sender.
 _FEED_DEPTH = 4
+
+#: How long a finished backup waits for its feeder thread to exit
+#: before giving up and leaking it (counted + warned, never silent).
+_FEED_JOIN_DEADLINE = 5.0
+
+#: Feeder threads that outlived the join deadline (process lifetime).
+_abandoned_feeders = 0
+
+#: Error codes worth a reconnect + resume: transient corruption the
+#: wire injected (the batch was rejected atomically, replay fixes it),
+#: server overload, or an eviction that parked our session.
+_RETRYABLE_CODES = frozenset(
+    {
+        Err.DIGEST_MISMATCH,
+        Err.UNKNOWN_CHUNK,
+        Err.BAD_FRAME,
+        Err.INTERNAL,
+        Err.EVICTED,
+    }
+)
+
+#: Exceptions that mean "the connection (not the request) failed".
+_RECOVERABLE_EXC = (OSError, EOFError, asyncio.TimeoutError)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard the client fights to keep a backup alive.
+
+    ``attempts`` bounds the redials per recovery; ``max_recoveries``
+    bounds recoveries across a whole operation so a permanently dark
+    server still fails in finite time.  Delays grow exponentially from
+    ``base_delay_s`` to ``max_delay_s`` with half-jitter.
+    """
+
+    attempts: int = 5
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    jitter: bool = True
+    op_timeout_s: float = 30.0
+    max_recoveries: int = 32
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < self.base_delay_s:
+            raise ValueError("need 0 <= base_delay_s <= max_delay_s")
+        if self.op_timeout_s is not None and self.op_timeout_s <= 0:
+            raise ValueError("op_timeout_s must be positive or None")
+        if self.max_recoveries < 0:
+            raise ValueError("max_recoveries must be >= 0")
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        raw = min(self.max_delay_s, self.base_delay_s * (2**attempt))
+        if not self.jitter:
+            return raw
+        return raw / 2 + rng.uniform(0, raw / 2)
 
 
 @dataclass
@@ -56,6 +133,12 @@ class RemoteBackupReport:
     shipped_bytes: int
     elapsed_s: float
     transfer: TransferLog = field(default_factory=TransferLog)
+    #: Resilience: connections redialed, successful RESUMEs, and ship
+    #: frames replayed after reconnect (unacked only — acked frames are
+    #: never re-shipped).
+    reconnects: int = 0
+    resumes: int = 0
+    replayed_frames: int = 0
 
     @property
     def dedup_fraction(self) -> float:
@@ -80,6 +163,9 @@ class AsyncBackupClient:
         session_id: str,
         window: int,
         max_frame: int = wire.DEFAULT_MAX_FRAME,
+        retry: RetryPolicy | None = None,
+        address: tuple[str, int] | None = None,
+        client_name: str = "",
     ) -> None:
         self.reader = reader
         self.writer = writer
@@ -88,7 +174,24 @@ class AsyncBackupClient:
         #: Max unacked CHUNK/POINTER batches in flight (server's hint).
         self.window = max(1, window)
         self.max_frame = max_frame
+        self.retry = retry
+        self._address = address
+        self._client_name = client_name
         self._closed = False
+        self._rng = random.Random()
+        # -- resume state (only driven when a RetryPolicy is set) ------
+        self._open_snapshot: str | None = None
+        self._resume_token = ""
+        self._session_open = False  # server-side snapshot confirmed open
+        self._finished_remotely = False  # FINISH applied, FINISH_OK lost
+        self._next_seq = 1
+        self._acked_seq = 0
+        #: In-flight ship frames: ``(seq, msg, payload)``, FIFO-acked.
+        self._unacked: deque[tuple[int, Msg, bytes]] = deque()
+        #: Resilience counters (reset per backup in the report).
+        self.reconnects = 0
+        self.resumes = 0
+        self.replayed_frames = 0
 
     @classmethod
     async def connect(
@@ -99,6 +202,7 @@ class AsyncBackupClient:
         tenant: str = "default",
         client_name: str = "",
         max_frame: int = wire.DEFAULT_MAX_FRAME,
+        retry: RetryPolicy | None = None,
     ) -> "AsyncBackupClient":
         """Dial, identify (magic + HELLO), and complete the handshake."""
         reader, writer = await asyncio.open_connection(host, port)
@@ -124,6 +228,9 @@ class AsyncBackupClient:
             session_id=session_id,
             window=window,
             max_frame=max_frame,
+            retry=retry,
+            address=(host, port),
+            client_name=client_name,
         )
 
     # -- low-level request/reply ---------------------------------------
@@ -133,7 +240,10 @@ class AsyncBackupClient:
         await self.writer.drain()
 
     async def _recv(self) -> tuple[Msg, bytes]:
-        msg, payload = await wire.read_frame(self.reader, self.max_frame)
+        timeout = self.retry.op_timeout_s if self.retry is not None else None
+        msg, payload = await asyncio.wait_for(
+            wire.read_frame(self.reader, self.max_frame), timeout
+        )
         if msg is Msg.ERROR:
             raise RemoteError(*wire.decode_error(payload))
         return msg, payload
@@ -150,19 +260,232 @@ class AsyncBackupClient:
         await self._send(msg, payload)
         return await self._expect(expected)
 
+    # -- reconnect + resume --------------------------------------------
+
+    async def _redial(self) -> None:
+        """Dial a fresh connection and redo the magic + HELLO handshake."""
+        host, port = self._address
+        try:
+            # Abort, don't close: a graceful FIN on the old socket looks
+            # like a deliberate walk-away to the server (clean EOF =>
+            # snapshot aborted); an RST parks the snapshot for resume.
+            # abort() only guarantees an RST when unread data is pending
+            # in the receive buffer, so force it with SO_LINGER 0.
+            sock = self.writer.get_extra_info("socket")
+            if sock is not None:
+                sock.setsockopt(
+                    socket.SOL_SOCKET,
+                    socket.SO_LINGER,
+                    struct.pack("ii", 1, 0),
+                )
+            self.writer.transport.abort()
+        except Exception:
+            pass
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(wire.MAGIC)
+        writer.write(
+            wire.encode_frame(
+                Msg.HELLO, wire.encode_hello(self.tenant, self._client_name)
+            )
+        )
+        await writer.drain()
+        try:
+            msg, payload = await asyncio.wait_for(
+                wire.read_frame(reader, self.max_frame),
+                self.retry.op_timeout_s,
+            )
+            if msg is Msg.ERROR:
+                raise RemoteError(*wire.decode_error(payload))
+            if msg is not Msg.HELLO_OK:
+                raise wire.ProtocolError(f"expected HELLO_OK, got {msg.name}")
+        except BaseException:
+            writer.close()
+            raise
+        _version, window, session_id = wire.decode_hello_ok(payload)
+        self.reader, self.writer = reader, writer
+        self.window = max(1, window)
+        self.session_id = session_id
+        self.reconnects += 1
+
+    async def _recover(self) -> None:
+        """Redial, re-open the snapshot (RESUME or BEGIN), replay unacked.
+
+        After this returns the server is at our applied-frame high-water
+        mark and every unacked ship frame has been resent in order; the
+        interrupted operation can simply be retried.
+        """
+        policy = self.retry
+        last: BaseException | None = None
+        for attempt in range(policy.attempts):
+            if attempt:
+                await asyncio.sleep(policy.delay(attempt - 1, self._rng))
+            try:
+                await self._redial()
+                break
+            except _RECOVERABLE_EXC as exc:
+                last = exc
+        else:
+            raise last
+        if self._open_snapshot is None:
+            return
+        self._session_open = False
+        applied: int | None = None
+        unknown: RemoteError | None = None
+        for attempt in range(policy.attempts):
+            if attempt:
+                await asyncio.sleep(policy.delay(attempt - 1, self._rng))
+            try:
+                payload = await self._rpc(
+                    Msg.RESUME,
+                    wire.encode_resume(
+                        self._open_snapshot, self._resume_token
+                    ),
+                    Msg.RESUME_OK,
+                )
+            except RemoteError as exc:
+                if exc.code is not Err.RESUME_UNKNOWN:
+                    raise
+                # The RESUME itself may have been corrupted in flight —
+                # a garbled token looks unknown to the server — so ask
+                # again before trusting the verdict.
+                unknown = exc
+                continue
+            applied, _chunks, _pointers, _received = wire.decode_resume_ok(
+                payload
+            )
+            self.resumes += 1
+            break
+        if applied is None:
+            # Consistently nothing parked under our token.  Either the
+            # snapshot was actually finished (FINISH applied, FINISH_OK
+            # lost) or it never progressed server-side (BEGIN lost /
+            # grace expired with nothing acked) — anything else is
+            # unrecoverable.
+            if self._open_snapshot in await self.list_snapshots():
+                self._finished_remotely = True
+                return
+            if self._acked_seq > 0:
+                raise unknown
+            await self._rpc(
+                Msg.BEGIN_SNAPSHOT,
+                wire.encode_begin(self._open_snapshot, self._resume_token),
+                Msg.BEGIN_OK,
+            )
+            applied = 0
+        self._session_open = True
+        # Frames the server applied before the cut count as acked even
+        # though their BATCH_OKs were lost with the old connection.
+        while self._unacked and self._unacked[0][0] <= applied:
+            self._unacked.popleft()
+        self._acked_seq = max(self._acked_seq, applied)
+        for _seq, msg, payload in self._unacked:
+            await self._send(msg, payload)
+            self.replayed_frames += 1
+
+    async def _with_recovery(self, op):
+        """Run ``op``; on connection failure, recover and retry it.
+
+        A recovery that itself dies on the wire just counts as another
+        recovery — only ``max_recoveries`` or a decisive server error
+        (non-retryable code) ends the fight.
+        """
+        policy = self.retry
+        recoveries = 0
+        need_recover = False
+        last: BaseException | None = None
+        while True:
+            if need_recover:
+                recoveries += 1
+                if recoveries > policy.max_recoveries:
+                    raise last
+                try:
+                    await self._recover()
+                except _RECOVERABLE_EXC as exc:
+                    last = exc
+                    continue
+                except RemoteError as exc:
+                    # e.g. the server answered the recovery handshake
+                    # with INTERNAL because our frame was garbled in
+                    # flight; the session parked, so recover again.
+                    if exc.code not in _RETRYABLE_CODES:
+                        raise
+                    last = exc
+                    continue
+                need_recover = False
+            try:
+                return await op()
+            except _RECOVERABLE_EXC as exc:
+                last = exc
+            except RemoteError as exc:
+                if policy is None or exc.code not in _RETRYABLE_CODES:
+                    raise
+                last = exc
+            if policy is None or self._address is None:
+                raise last
+            need_recover = True
+
     # -- session verbs -------------------------------------------------
 
     async def begin_snapshot(self, snapshot_id: str) -> None:
-        await self._rpc(
-            Msg.BEGIN_SNAPSHOT,
-            wire.encode_snapshot_id(snapshot_id),
-            Msg.BEGIN_OK,
-        )
+        if self.retry is None:
+            await self._rpc(
+                Msg.BEGIN_SNAPSHOT,
+                wire.encode_begin(snapshot_id),
+                Msg.BEGIN_OK,
+            )
+            return
+        self._open_snapshot = snapshot_id
+        self._resume_token = secrets.token_hex(8)
+        self._session_open = False
+        self._finished_remotely = False
+        self._next_seq = 1
+        self._acked_seq = 0
+        self._unacked.clear()
+
+        async def op():
+            if self._session_open:  # _recover already re-opened it
+                return
+            await self._rpc(
+                Msg.BEGIN_SNAPSHOT,
+                wire.encode_begin(snapshot_id, self._resume_token),
+                Msg.BEGIN_OK,
+            )
+            self._session_open = True
+
+        try:
+            await self._with_recovery(op)
+        except BaseException:
+            self._open_snapshot = None
+            self._resume_token = ""
+            raise
 
     async def finish_snapshot(self, snapshot_id: str) -> TransferLog:
-        payload = await self._rpc(
-            Msg.FINISH, wire.encode_snapshot_id(snapshot_id), Msg.FINISH_OK
-        )
+        if self.retry is None:
+            payload = await self._rpc(
+                Msg.FINISH, wire.encode_snapshot_id(snapshot_id), Msg.FINISH_OK
+            )
+            chunks, pointers, received = wire.decode_finish_ok(payload)
+            return TransferLog(
+                chunks_received=chunks,
+                pointers_received=pointers,
+                bytes_received=received,
+            )
+
+        async def op():
+            if self._finished_remotely:  # FINISH applied, ack lost
+                return None
+            return await self._rpc(
+                Msg.FINISH, wire.encode_snapshot_id(snapshot_id), Msg.FINISH_OK
+            )
+
+        payload = await self._with_recovery(op)
+        self._open_snapshot = None
+        self._resume_token = ""
+        self._session_open = False
+        if payload is None:
+            # The recipe is stored but the counts died with the old
+            # connection; an empty log keeps the success visible.
+            return TransferLog()
         chunks, pointers, received = wire.decode_finish_ok(payload)
         return TransferLog(
             chunks_received=chunks,
@@ -276,12 +599,37 @@ class AsyncBackupClient:
             )
         t0 = time.perf_counter()
         n_chunks = duplicates = shipped = 0
-        unacked: deque[int] = deque()  # in-flight unacked ship frames
+        reconnects0 = self.reconnects
+        resumes0 = self.resumes
+        replayed0 = self.replayed_frames
 
         async def drain_one() -> None:
+            if not self._unacked:
+                return  # a resume already accounted every in-flight frame
             ack = await self._expect(Msg.BATCH_OK)
             wire.decode_batch_ok(ack)
-            unacked.popleft()
+            self._unacked.popleft()
+            self._acked_seq += 1
+
+        async def ship(msg: Msg, payload: bytes) -> None:
+            """Enqueue + send one ship frame exactly once.
+
+            The frame joins ``_unacked`` *before* the send: if the send
+            (or anything later) dies, ``_recover`` replays it from the
+            queue, so the retried op must not send it a second time.
+            """
+            self._unacked.append((self._next_seq, msg, payload))
+            self._next_seq += 1
+            sent = False
+
+            async def op():
+                nonlocal sent
+                if sent:
+                    return
+                sent = True
+                await self._send(msg, payload)
+
+            await self._with_recovery(op)
 
         await self.begin_snapshot(snapshot_id)
         try:
@@ -290,10 +638,15 @@ class AsyncBackupClient:
                 # Decision round trip: all prior batch acks drain first
                 # (replies are FIFO), so at most `window` ship frames
                 # ride ahead of this request.
-                while unacked:
-                    await drain_one()
-                flags = await self.decide_chunks(
-                    [c.digest for c in batch], [c.length for c in batch]
+                while self._unacked:
+                    await self._with_recovery(drain_one)
+                digests = [c.digest for c in batch]
+                lengths = [c.length for c in batch]
+                # Replaying a decide after reconnect is safe: the server
+                # forces re-ship for index entries whose payload never
+                # landed, so a lost DIGEST_REPLY cannot lose chunks.
+                flags = await self._with_recovery(
+                    lambda: self.decide_chunks(digests, lengths)
                 )
                 # Ship consecutive same-decision runs — order of arrival
                 # at the agent is recipe order, identical to in-process.
@@ -306,7 +659,7 @@ class AsyncBackupClient:
                     run = batch[i:j]
                     if is_dup:
                         duplicates += len(run)
-                        await self._send(
+                        await ship(
                             Msg.POINTER_BATCH,
                             wire.encode_pointer_batch(
                                 [c.digest for c in run]
@@ -315,18 +668,17 @@ class AsyncBackupClient:
                     else:
                         run_bytes = sum(c.length for c in run)
                         shipped += run_bytes
-                        await self._send(
+                        await ship(
                             Msg.CHUNK_BATCH,
                             wire.encode_chunk_batch(
                                 [(c.digest, c.data) for c in run]
                             ),
                         )
-                    unacked.append(1)
-                    while len(unacked) >= self.window:
-                        await drain_one()
+                    while len(self._unacked) >= self.window:
+                        await self._with_recovery(drain_one)
                     i = j
-            while unacked:
-                await drain_one()
+            while self._unacked:
+                await self._with_recovery(drain_one)
             transfer = await self.finish_snapshot(snapshot_id)
         finally:
             if own_shredder:
@@ -339,6 +691,9 @@ class AsyncBackupClient:
             shipped_bytes=shipped,
             elapsed_s=time.perf_counter() - t0,
             transfer=transfer,
+            reconnects=self.reconnects - reconnects0,
+            resumes=self.resumes - resumes0,
+            replayed_frames=self.replayed_frames - replayed0,
         )
 
 
@@ -361,9 +716,11 @@ async def _feed(shredder: Shredder, data: bytes, batch_chunks: int | None):
         # A timed-out run_coroutine_threadsafe future is NOT cancelled —
         # the put coroutine stays pending and lands the item when a slot
         # frees, so rescheduling on timeout would enqueue it twice.
+        coro = queue.put(item)
         try:
-            future = asyncio.run_coroutine_threadsafe(queue.put(item), loop)
+            future = asyncio.run_coroutine_threadsafe(coro, loop)
         except RuntimeError:
+            coro.close()  # never scheduled; silence the unawaited warning
             return False  # loop is closing
         while True:
             try:
@@ -402,14 +759,31 @@ async def _feed(shredder: Shredder, data: bytes, batch_chunks: int | None):
         # No awaits here: this also runs under GeneratorExit when the
         # consumer abandons the stream, where suspending is illegal.
         # stop + drain unblocks a feeder stuck on the full queue; its
-        # put() polls every 0.1 s and sees the flag.
+        # put() polls every 0.1 s and sees the flag.  The join has a
+        # real deadline: a feeder wedged in native code (chunker,
+        # hasher) must not hang the event loop forever — after
+        # _FEED_JOIN_DEADLINE it is abandoned (daemon thread), counted,
+        # and warned about instead of silently spun on.
         stop.set()
+        deadline = time.monotonic() + _FEED_JOIN_DEADLINE
         while feeder.is_alive():
             try:
                 queue.get_nowait()
             except asyncio.QueueEmpty:
                 pass
             feeder.join(timeout=0.05)
+            if feeder.is_alive() and time.monotonic() >= deadline:
+                global _abandoned_feeders
+                _abandoned_feeders += 1
+                warnings.warn(
+                    f"feeder thread {feeder.name!r} still alive "
+                    f"{_FEED_JOIN_DEADLINE:g}s after backup ended; "
+                    f"abandoning it ({_abandoned_feeders} abandoned "
+                    "this process)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                break
 
 
 # ----------------------------------------------------------------------
@@ -461,6 +835,7 @@ class RemoteAgent:
         tenant: str = "default",
         client_name: str = "",
         flush_items: int = 256,
+        retry: RetryPolicy | None = None,
     ) -> None:
         if flush_items < 1:
             raise ValueError("flush_items must be >= 1")
@@ -477,7 +852,11 @@ class RemoteAgent:
         try:
             self._client = self._call(
                 AsyncBackupClient.connect(
-                    host, port, tenant=tenant, client_name=client_name
+                    host,
+                    port,
+                    tenant=tenant,
+                    client_name=client_name,
+                    retry=retry,
                 )
             )
         except BaseException:

@@ -42,6 +42,12 @@ class ServiceMetrics:
     #: connection's queue ever got — bounded by the configured depth.
     backpressure_waits: int = 0
     max_queue_depth: int = 0
+    #: Resilience: snapshots parked on abnormal disconnect, successfully
+    #: resumed, expired unclaimed, and sessions evicted for stalling.
+    sessions_parked: int = 0
+    sessions_resumed: int = 0
+    sessions_expired: int = 0
+    sessions_evicted: int = 0
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
@@ -77,18 +83,25 @@ def service_snapshot(service) -> dict:
             "index_chunks": len(namespace.index),
             "dedup": asdict(namespace.index.stats),
         }
-    return {
+    store_doc = {
+        "backend": service.storage_kind,
+        "store_backend": service.config.store_backend,
+        "chunks": store.chunk_count,
+        "stored_bytes": store.stored_bytes,
+        "snapshots": store.snapshot_count,
+    }
+    if hasattr(store, "health_snapshot"):
+        store_doc["cluster"] = store.health_snapshot()
+    doc = {
         "service": service.metrics.to_dict(),
-        "store": {
-            "backend": service.storage_kind,
-            "store_backend": service.config.store_backend,
-            "chunks": store.chunk_count,
-            "stored_bytes": store.stored_bytes,
-            "snapshots": store.snapshot_count,
-        },
+        "store": store_doc,
         "tenants": tenants,
         "core": core_stats.snapshot(),
     }
+    plan = getattr(service, "fault_plan", None)
+    if plan is not None:
+        doc["faults"] = {"spec": plan.describe(), **plan.stats.as_dict()}
+    return doc
 
 
 def render_json(snapshot: dict) -> bytes:

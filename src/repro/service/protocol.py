@@ -42,7 +42,10 @@ __all__ = [
 ]
 
 MAGIC = b"SHRD1"
-PROTOCOL_VERSION = 1
+#: v2 adds the resume handshake: BEGIN_SNAPSHOT carries a
+#: client-generated resume token, and RESUME / RESUME_OK let a
+#: reconnecting client continue a parked mid-backup session.
+PROTOCOL_VERSION = 2
 
 #: Hard per-frame ceiling: a CHUNK_BATCH of autotune-sized scan batches
 #: stays far below this; anything larger is a corrupt or hostile frame.
@@ -75,6 +78,8 @@ class Msg(IntEnum):
     LIST_SNAPSHOTS = 16
     SNAPSHOT_LIST = 17
     ERROR = 18
+    RESUME = 19
+    RESUME_OK = 20
 
 
 class Err(IntEnum):
@@ -89,6 +94,13 @@ class Err(IntEnum):
     DIGEST_MISMATCH = 7
     UNKNOWN_CHUNK = 8
     INTERNAL = 9
+    #: RESUME named a token the server has no parked session for (it
+    #: expired, was already resumed, or never parked) — the client must
+    #: fall back to a fresh BEGIN_SNAPSHOT.
+    RESUME_UNKNOWN = 10
+    #: The server evicted this connection for stalling past the
+    #: configured timeout; any open snapshot was parked for resume.
+    EVICTED = 11
 
 
 #: DIGEST_BATCH modes: QUERY is a read-only membership probe against
@@ -217,7 +229,7 @@ def decode_hello_ok(payload: bytes) -> tuple[int, int, str]:
 
 
 def encode_snapshot_id(snapshot_id: str) -> bytes:
-    """Shared by BEGIN_SNAPSHOT / FINISH / RESTORE."""
+    """Shared by FINISH / RESTORE."""
     return _pack_str(snapshot_id)
 
 
@@ -225,6 +237,70 @@ def decode_snapshot_id(payload: bytes) -> str:
     snapshot_id, offset = _take_str(payload, 0)
     _done(payload, offset)
     return snapshot_id
+
+
+def encode_begin(snapshot_id: str, token: str = "") -> bytes:
+    """BEGIN_SNAPSHOT: id + client-generated resume token.
+
+    The token is client-generated (not handed out in BEGIN_OK) so a
+    client whose BEGIN applied but whose reply was lost can still
+    RESUME — it never depends on having *seen* a server reply.  An
+    empty token opts out of parking (the session aborts on disconnect,
+    the v1 behaviour).
+    """
+    return _pack_str(snapshot_id) + _pack_str(token)
+
+
+def decode_begin(payload: bytes) -> tuple[str, str]:
+    snapshot_id, offset = _take_str(payload, 0)
+    if offset == len(payload):
+        return snapshot_id, ""  # v1 frame: no token field
+    token, offset = _take_str(payload, offset)
+    _done(payload, offset)
+    return snapshot_id, token
+
+
+def encode_resume(snapshot_id: str, token: str) -> bytes:
+    """RESUME: reclaim a parked session for this snapshot + token."""
+    return _pack_str(snapshot_id) + _pack_str(token)
+
+
+def decode_resume(payload: bytes) -> tuple[str, str]:
+    snapshot_id, offset = _take_str(payload, 0)
+    token, offset = _take_str(payload, offset)
+    _done(payload, offset)
+    return snapshot_id, token
+
+
+def encode_resume_ok(
+    applied_frames: int, chunks: int, pointers: int, received_bytes: int
+) -> bytes:
+    """RESUME_OK: how far the server got.
+
+    ``applied_frames`` is the count of ship frames (CHUNK_BATCH /
+    POINTER_BATCH) fully applied for the parked snapshot — the client
+    replays only frames numbered beyond it, which is what makes resume
+    exactly-once: acked work is never re-shipped, unacked work is.
+    """
+    return (
+        _U32.pack(applied_frames)
+        + _U32.pack(chunks)
+        + _U32.pack(pointers)
+        + _U64.pack(received_bytes)
+    )
+
+
+def decode_resume_ok(payload: bytes) -> tuple[int, int, int, int]:
+    raw, offset = _take(payload, 0, _U32.size)
+    (applied_frames,) = _U32.unpack(raw)
+    raw, offset = _take(payload, offset, _U32.size)
+    (chunks,) = _U32.unpack(raw)
+    raw, offset = _take(payload, offset, _U32.size)
+    (pointers,) = _U32.unpack(raw)
+    raw, offset = _take(payload, offset, _U64.size)
+    (received_bytes,) = _U64.unpack(raw)
+    _done(payload, offset)
+    return applied_frames, chunks, pointers, received_bytes
 
 
 def encode_finish_ok(chunks: int, pointers: int, received_bytes: int) -> bytes:

@@ -30,11 +30,13 @@ restarted on the same ``data_dir`` resumes serving the same snapshots.
 from __future__ import annotations
 
 import asyncio
+import os
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.backup.agent import ShredderAgent
 from repro.backup.store import ChunkStore
+from repro.faults import FAULTS_ENV, FaultPlan
 from repro.service import protocol as wire
 from repro.service.metrics import (
     ServiceMetrics,
@@ -81,6 +83,21 @@ class ServiceConfig:
     max_frame: int = wire.DEFAULT_MAX_FRAME
     #: RESTORE_DATA piece size.
     restore_piece: int = 1 << 20
+    #: Chaos plan spec (see :mod:`repro.faults`); ``None`` follows the
+    #: ``REPRO_FAULTS`` env var, ``""`` forces faults off.
+    faults: str | None = None
+    #: Evict a session that sends no frame for this long (seconds);
+    #: ``None`` disables slow-client eviction.
+    stall_timeout_s: float | None = None
+    #: How long an interrupted mid-backup session stays parked for
+    #: RESUME before its snapshot is aborted; 0 disables parking.
+    resume_grace_s: float = 30.0
+    #: On shutdown, wait up to this long for sessions with open
+    #: snapshots to finish before cancelling them.
+    drain_s: float = 5.0
+    #: Cluster heartbeat period (seconds); ``None`` disables the beat.
+    #: Only meaningful with ``store_backend="cluster"``.
+    heartbeat_s: float | None = None
 
     def __post_init__(self) -> None:
         resolve_backend(self.backend, self.data_dir)  # raises on bad kind
@@ -94,6 +111,24 @@ class ServiceConfig:
             raise ValueError("window must be >= 1")
         if self.restore_piece < 1:
             raise ValueError("restore_piece must be >= 1")
+        if self.stall_timeout_s is not None and self.stall_timeout_s <= 0:
+            raise ValueError("stall_timeout_s must be positive (or None)")
+        if self.resume_grace_s < 0:
+            raise ValueError("resume_grace_s must be >= 0")
+        if self.drain_s < 0:
+            raise ValueError("drain_s must be >= 0")
+        if self.heartbeat_s is not None and self.heartbeat_s <= 0:
+            raise ValueError("heartbeat_s must be positive (or None)")
+
+
+@dataclass
+class _Parked:
+    """An interrupted session's open snapshot, waiting for RESUME."""
+
+    scoped: str
+    tenant: str
+    applied_frames: int
+    handle: asyncio.TimerHandle
 
 
 class SessionError(Exception):
@@ -126,6 +161,10 @@ class BackupService:
         self.config = cfg = config or ServiceConfig()
         self.storage_kind = resolve_backend(cfg.backend, cfg.data_dir)
         data_dir = Path(cfg.data_dir) if cfg.data_dir is not None else None
+        spec = cfg.faults
+        if spec is None:
+            spec = os.environ.get(FAULTS_ENV, "").strip()
+        self.fault_plan = FaultPlan.parse(spec) if spec else None
         if cfg.store_backend == "cluster":
             self.store = ChunkStoreCluster(
                 n_nodes=cfg.cluster_nodes,
@@ -138,6 +177,7 @@ class BackupService:
                 cost_model=LookupCostModel(),
                 backend=self.storage_kind,
                 data_dir=data_dir / "cluster" if data_dir is not None else None,
+                fault_plan=self.fault_plan,
             )
         else:
             self.store = ChunkStore(
@@ -151,8 +191,14 @@ class BackupService:
         self.metrics = ServiceMetrics()
         self._server: asyncio.base_events.Server | None = None
         self._session_seq = 0
+        self._conn_seq = 0
         self._active_sessions = 0
         self._conn_tasks: set[asyncio.Task] = set()
+        self._sessions: set["_Session"] = set()
+        #: Interrupted mid-backup sessions keyed by resume token, each
+        #: holding its open snapshot until RESUME or grace expiry.
+        self._parked: dict[str, _Parked] = {}
+        self._heartbeat_task: asyncio.Task | None = None
         self._closed = False
         self.port: int | None = cfg.port if cfg.port else None
 
@@ -170,35 +216,108 @@ class BackupService:
             self._on_connection, self.config.host, self.config.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.config.heartbeat_s is not None and hasattr(self.store, "heartbeat"):
+            self._heartbeat_task = asyncio.create_task(self._heartbeat_loop())
 
     async def serve_forever(self) -> None:
         if self._server is None:
             await self.start()
         await self._server.serve_forever()
 
-    async def stop(self) -> None:
-        """Stop accepting, drop connections, close all state owners."""
+    async def stop(self, drain_s: float | None = None) -> None:
+        """Stop accepting, drain, drop connections, close state owners.
+
+        Drain-on-shutdown: sessions with an open snapshot get up to
+        ``drain_s`` (default from config) to finish before they are
+        cancelled — a SIGTERM mid-backup prefers a finished snapshot
+        over a parked one.  Idle connections are not waited for.
+        """
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            try:
+                await self._heartbeat_task
+            except asyncio.CancelledError:
+                pass
+            self._heartbeat_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        drain = self.config.drain_s if drain_s is None else drain_s
+        if drain > 0 and self._busy_sessions():
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + drain
+            while self._busy_sessions() and loop.time() < deadline:
+                await asyncio.sleep(0.02)
         for task in list(self._conn_tasks):
             task.cancel()
         if self._conn_tasks:
             await asyncio.gather(*self._conn_tasks, return_exceptions=True)
         self.close()
 
+    def _busy_sessions(self) -> int:
+        """Sessions mid-backup (an open snapshot = unfinished work)."""
+        return sum(1 for s in self._sessions if s.open_scoped is not None)
+
+    async def _heartbeat_loop(self) -> None:
+        period = self.config.heartbeat_s
+        while True:
+            await asyncio.sleep(period)
+            try:
+                self.store.heartbeat()
+            except Exception:  # noqa: BLE001 — the beat must outlive faults
+                pass
+
     def close(self) -> None:
         """Synchronous state teardown (idempotent)."""
         if self._closed:
             return
         self._closed = True
+        # Parked sessions die with the process: cancel their expiry
+        # timers (the abort below covers their snapshots).
+        for parked in self._parked.values():
+            parked.handle.cancel()
+        self._parked.clear()
         # Abort any sessions a dead connection left open: no recipe is
         # ever written for a half-shipped snapshot.
         for scoped in self.agent.open_snapshots:
             self.agent.abort_snapshot(scoped)
         self.registry.close()
         self.store.close()
+
+    # -- session parking (mid-backup resume) ---------------------------
+
+    def _park(self, session: "_Session") -> None:
+        """Hold an interrupted session's snapshot for the grace window."""
+        token = session.resume_token
+        stale = self._parked.pop(token, None)
+        if stale is not None:  # token reuse: the old hold is forfeit
+            stale.handle.cancel()
+        handle = asyncio.get_running_loop().call_later(
+            self.config.resume_grace_s, self._expire_parked, token
+        )
+        self._parked[token] = _Parked(
+            scoped=session.open_scoped,
+            tenant=session.namespace.name,
+            applied_frames=session.applied_frames,
+            handle=handle,
+        )
+        session.open_scoped = None  # ownership moved to the parking lot
+        self.metrics.add(sessions_parked=1)
+
+    def _expire_parked(self, token: str) -> None:
+        parked = self._parked.pop(token, None)
+        if parked is None:
+            return
+        try:
+            self.agent.abort_snapshot(parked.scoped)
+        except ValueError:
+            pass
+        try:
+            self.registry.get(parked.tenant).counters.snapshots_aborted += 1
+        except ValueError:
+            pass
+        self.metrics.add(sessions_expired=1)
 
     async def __aenter__(self) -> "BackupService":
         await self.start()
@@ -290,11 +409,17 @@ class BackupService:
             await self._send_error(writer, Err.BAD_TENANT, str(exc))
             return
         self._session_seq += 1
+        self._conn_seq += 1
         session_id = f"{tenant_name}-{self._session_seq}"
         self._active_sessions += 1
         self.metrics.add(sessions_total=1, sessions_active=1)
         namespace.counters.sessions += 1
         session = _Session(self, namespace, reader, writer)
+        if self.fault_plan is not None:
+            session.wire_faults = self.fault_plan.wire_injector(
+                f"conn-{self._conn_seq}"
+            )
+        self._sessions.add(session)
         try:
             await self._send_frame(
                 writer,
@@ -305,7 +430,8 @@ class BackupService:
         finally:
             self._active_sessions -= 1
             self.metrics.add(sessions_active=-1)
-            session.abort_open()
+            self._sessions.discard(session)
+            session.release()
 
     # -- HTTP surface --------------------------------------------------
 
@@ -375,6 +501,17 @@ class _Session:
         )
         #: Scoped id of the one snapshot this session may have open.
         self.open_scoped: str | None = None
+        #: Client-generated resume token from BEGIN/RESUME ("" = the
+        #: client opted out of parking).
+        self.resume_token: str = ""
+        #: Ship frames (CHUNK_BATCH / POINTER_BATCH) fully applied for
+        #: the open snapshot — the resume high-water mark.
+        self.applied_frames: int = 0
+        #: Reader verdict: True only for an EOF on a frame boundary (a
+        #: deliberate close — abandon, don't park).
+        self.clean_eof: bool = False
+        #: Per-connection chaos injector (None when no plan is active).
+        self.wire_faults = None
 
     def abort_open(self) -> None:
         if self.open_scoped is not None:
@@ -384,6 +521,27 @@ class _Session:
                 pass  # finished/aborted in the worker already
             self.namespace.counters.snapshots_aborted += 1
             self.open_scoped = None
+
+    def release(self) -> None:
+        """End-of-connection disposition for an open snapshot.
+
+        A snapshot interrupted *abnormally* (reset, mid-frame EOF,
+        eviction, fatal error) is parked for the resume grace window;
+        a clean frame-boundary EOF means the client walked away, so the
+        snapshot aborts exactly as in protocol v1.
+        """
+        if self.open_scoped is None:
+            return
+        cfg = self.service.config
+        if (
+            self.clean_eof
+            or not self.resume_token
+            or cfg.resume_grace_s <= 0
+            or self.service._closed
+        ):
+            self.abort_open()
+            return
+        self.service._park(self)
 
     async def run(self) -> None:
         worker = asyncio.create_task(self._worker())
@@ -402,16 +560,48 @@ class _Session:
 
     async def _read_loop(self) -> None:
         metrics = self.service.metrics
-        max_frame = self.service.config.max_frame
+        cfg = self.service.config
+        max_frame = cfg.max_frame
+        injector = self.wire_faults
         while True:
             try:
-                frame = await wire.read_frame(self.reader, max_frame)
-            except asyncio.IncompleteReadError:
-                return  # clean EOF
+                frame = await asyncio.wait_for(
+                    wire.read_frame(self.reader, max_frame),
+                    cfg.stall_timeout_s,
+                )
+            except asyncio.TimeoutError:
+                # Slow-client eviction: the worker sends ERROR[EVICTED];
+                # an open snapshot parks, so the client can resume.
+                await self.queue.put(
+                    (
+                        "evicted",
+                        f"no frame in {cfg.stall_timeout_s:g}s; session evicted",
+                    )
+                )
+                return
+            except asyncio.IncompleteReadError as exc:
+                # EOF on the frame-header boundary = deliberate close;
+                # EOF mid-frame = the peer died mid-send.
+                self.clean_eof = not exc.partial and exc.expected == 5
+                return
+            except (ConnectionResetError, BrokenPipeError):
+                return  # abnormal: release() parks any open snapshot
             except wire.ProtocolError as exc:
                 await self.queue.put(("protocol-error", str(exc)))
                 return
             metrics.add(frames_received=1)
+            if injector is not None:
+                action = injector.frame_action()
+                if action is not None:
+                    if action[0] == "drop":
+                        # Kill the connection before the frame applies —
+                        # the client sees a reset and must resume.
+                        self.writer.transport.abort()
+                        return
+                    if action[0] == "stall":
+                        await asyncio.sleep(action[1])
+                    elif action[0] == "garble":
+                        frame = (frame[0], injector.garble(frame[1]))
             if self.queue.full():
                 # The bounded queue is the backpressure seam: this put
                 # blocks, this coroutine stops reading the socket, and
@@ -430,13 +620,26 @@ class _Session:
                     self.writer, Err.BAD_FRAME, item[1]
                 )
                 return
+            if isinstance(item, tuple) and item[0] == "evicted":
+                self.service.metrics.add(sessions_evicted=1)
+                try:
+                    await self.service._send_error(
+                        self.writer, Err.EVICTED, item[1]
+                    )
+                except (ConnectionResetError, BrokenPipeError):
+                    pass
+                return
             msg, payload = item
             try:
                 await self._dispatch(msg, payload)
             except SessionError as exc:
                 await self.service._send_error(self.writer, exc.code, str(exc))
                 if exc.fatal:
-                    self.abort_open()
+                    # Fatal = this connection is untrustworthy, not the
+                    # snapshot: park it now (when the client can resume)
+                    # so a clean-looking teardown of the dead socket
+                    # cannot demote the park to an abort.
+                    self.release()
                     return
             except (ConnectionResetError, BrokenPipeError):
                 return
@@ -447,7 +650,11 @@ class _Session:
                     )
                 except (ConnectionResetError, BrokenPipeError):
                     pass
-                self.abort_open()
+                # Same disposition as a fatal SessionError: a frame that
+                # explodes in decode (e.g. garbled on the wire) condemns
+                # the connection, not the snapshot — park it so the
+                # client can resume; token-less v1 clients still abort.
+                self.release()
                 return
 
     # -- frame handlers ------------------------------------------------
@@ -456,6 +663,7 @@ class _Session:
         try:
             handler = {
                 Msg.BEGIN_SNAPSHOT: self._on_begin,
+                Msg.RESUME: self._on_resume,
                 Msg.DIGEST_BATCH: self._on_digest_batch,
                 Msg.CHUNK_BATCH: self._on_chunk_batch,
                 Msg.POINTER_BATCH: self._on_pointer_batch,
@@ -477,7 +685,7 @@ class _Session:
         return self.open_scoped
 
     async def _on_begin(self, payload: bytes) -> None:
-        snapshot_id = wire.decode_snapshot_id(payload)
+        snapshot_id, token = wire.decode_begin(payload)
         if self.open_scoped is not None:
             raise SessionError(
                 Err.SNAPSHOT_EXISTS,
@@ -500,8 +708,57 @@ class _Session:
         except ValueError as exc:
             raise SessionError(Err.SNAPSHOT_EXISTS, str(exc)) from None
         self.open_scoped = scoped
+        self.resume_token = token
+        self.applied_frames = 0
         self.namespace.counters.snapshots_begun += 1
         await self.service._send_frame(self.writer, Msg.BEGIN_OK)
+
+    async def _on_resume(self, payload: bytes) -> None:
+        snapshot_id, token = wire.decode_resume(payload)
+        if self.open_scoped is not None:
+            raise SessionError(
+                Err.SNAPSHOT_EXISTS,
+                "a snapshot is already open on this session",
+            )
+        service = self.service
+        parked = service._parked.get(token)
+        if parked is None:
+            # A reset client can redial faster than the dying session
+            # finishes draining its queue and parks: give the teardown
+            # a moment to land before declaring the token unknown.
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + min(
+                2.0, service.config.resume_grace_s
+            )
+            while parked is None and loop.time() < deadline:
+                await asyncio.sleep(0.01)
+                parked = service._parked.get(token)
+        if (
+            parked is None
+            or parked.tenant != self.namespace.name
+            or self.namespace.unscope(parked.scoped) != snapshot_id
+        ):
+            raise SessionError(
+                Err.RESUME_UNKNOWN,
+                f"no parked session for snapshot {snapshot_id!r}",
+            )
+        del service._parked[token]
+        parked.handle.cancel()
+        self.open_scoped = parked.scoped
+        self.resume_token = token
+        self.applied_frames = parked.applied_frames
+        service.metrics.add(sessions_resumed=1)
+        log = service.agent.open_log(parked.scoped)
+        await service._send_frame(
+            self.writer,
+            Msg.RESUME_OK,
+            wire.encode_resume_ok(
+                self.applied_frames,
+                log.chunks_received,
+                log.pointers_received,
+                log.bytes_received,
+            ),
+        )
 
     async def _on_digest_batch(self, payload: bytes) -> None:
         mode, digests, lengths = wire.decode_digest_batch(payload)
@@ -553,6 +810,7 @@ class _Session:
             # flight (or the peer lies about content): fail loudly and
             # drop the connection — nothing of this batch was stored.
             raise SessionError(Err.DIGEST_MISMATCH, str(exc), fatal=True) from None
+        self.applied_frames += 1
         received = sum(len(data) for _, data in items)
         counters = self.namespace.counters
         counters.chunks_received += len(items)
@@ -570,6 +828,7 @@ class _Session:
             raise SessionError(
                 Err.UNKNOWN_CHUNK, str(exc.args[0]), fatal=True
             ) from None
+        self.applied_frames += 1
         self.namespace.counters.pointers_received += len(digests)
         await self.service._send_frame(
             self.writer, Msg.BATCH_OK, wire.encode_batch_ok(len(digests), 0)
@@ -585,6 +844,8 @@ class _Session:
             )
         log = self.service.agent.finish_snapshot(scoped)
         self.open_scoped = None
+        self.resume_token = ""
+        self.applied_frames = 0
         self.namespace.counters.snapshots_finished += 1
         await self.service._send_frame(
             self.writer,

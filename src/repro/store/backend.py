@@ -60,6 +60,7 @@ __all__ = [
     "RecipeStore",
     "BACKEND_KINDS",
     "STORE_BACKEND_ENV",
+    "FSYNC_ENV",
     "make_backend",
     "resolve_backend",
 ]
@@ -71,6 +72,10 @@ BACKEND_KINDS = ("memory", "disk")
 STORE_BACKEND_ENV = "REPRO_STORE_BACKEND"
 #: Where ephemeral disk backends (disk kind, no directory given) live.
 STORE_TMP_ENV = "REPRO_STORE_TMP"
+#: Truthy values opt persistent backends into fsync-on-flush durability
+#: (crash-safe, not just process-crash-safe) when the constructor does
+#: not say either way.
+FSYNC_ENV = "REPRO_FSYNC"
 
 _LOG_NAME = "chunks.log"
 #: Log record framing: crc32 | op | key_len | value_len, then key+value.
@@ -116,6 +121,7 @@ class BackendStats:
     deletes: int = 0  # keys actually removed
     batches: int = 0  # batched calls serviced
     memtable_flushes: int = 0
+    fsyncs: int = 0  # device syncs (only with the fsync knob on)
     compactions: int = 0  # run merges
     log_compactions: int = 0  # whole-log rewrites (GC)
     bloom_negatives: int = 0  # run probes skipped by the run's filter
@@ -314,12 +320,25 @@ class PersistentBackend:
         memtable_limit: int = 4096,
         compact_fanout: int = 4,
         bloom_fp_rate: float = 0.01,
+        fsync: bool | None = None,
         _ephemeral: bool = False,
     ) -> None:
         if memtable_limit < 1:
             raise ValueError("memtable_limit must be >= 1")
         if compact_fanout < 2:
             raise ValueError("compact_fanout must be >= 2")
+        if fsync is None:
+            fsync = os.environ.get(FSYNC_ENV, "").strip().lower() in (
+                "1",
+                "true",
+                "yes",
+                "on",
+            )
+        #: When on, ``flush`` syncs the log to the device — full
+        #: crash durability instead of the default prefix-durability
+        #: (page cache) contract.  Opt-in: it turns every flush into a
+        #: device round trip.
+        self.fsync = fsync
         self.directory = Path(directory)
         self.memtable_limit = memtable_limit
         self.compact_fanout = compact_fanout
@@ -672,10 +691,18 @@ class PersistentBackend:
     # -- lifecycle -----------------------------------------------------
 
     def flush(self) -> None:
-        """Push buffered log records to the OS (prefix durability)."""
+        """Push buffered log records to the OS (prefix durability).
+
+        With the fsync knob on (constructor arg or ``REPRO_FSYNC``)
+        the records are forced to the device as well, making the flush
+        a real durability point rather than a page-cache handoff.
+        """
         self._require_open()
         t0 = time.perf_counter()
         self._appender.flush()
+        if self.fsync:
+            os.fsync(self._appender.fileno())
+            self.stats.fsyncs += 1
         self._unflushed = False
         _record_store(time.perf_counter() - t0)
 

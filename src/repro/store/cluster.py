@@ -24,18 +24,32 @@ data_dir=...)`` reopens every shard, recipe, and lookup answer
 bit-identical.  Reopen with the same membership you closed with; after
 reopening a cluster whose ring changed mid-life (decommission, resize),
 run ``repair()``/``rebalance()`` to realign placements.
+
+Failure handling is self-managing: every node operation feeds a
+consecutive-error :class:`~repro.store.health.FailureDetector`, so a
+node that starts erroring is marked suspect, then declared dead —
+dropped from the ring and (by default) immediately re-replicated from
+surviving copies — without anyone calling :meth:`fail_node`.  Reads
+degrade instead of failing: ``get_chunk`` falls through erroring or
+corrupt replicas to any surviving copy (``degraded_reads`` /
+``corrupt_reads`` in :class:`ClusterStats`).  Under an active
+:class:`~repro.faults.FaultPlan` (the ``REPRO_FAULTS`` env var) every
+shard backend is wrapped in a chaos decorator and reads are
+digest-verified end to end.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING
 
+from repro.faults import FaultPlan
 from repro.store.backend import RecipeStore, make_backend, resolve_backend
+from repro.store.health import FailureDetector, HealthPolicy, NodeState
 from repro.store.lookup import BatchedLookup, BatchLookupStats, LookupCostModel
-from repro.store.node import StoreNode
+from repro.store.node import NodeDownError, StoreNode
 from repro.store.ring import DEFAULT_VNODES, HashRing
 from repro.store.schemes import PlacementScheme, ReplicatedPlacement
 
@@ -44,10 +58,19 @@ if TYPE_CHECKING:  # annotation-only: keeps repro.store import-clean of repro.ba
 
 __all__ = [
     "ChunkStoreCluster",
+    "ClusterStats",
     "RepairReport",
     "MigrationReport",
     "UnrecoverableChunkError",
 ]
+
+
+def _chunk_hash(data: bytes) -> bytes:
+    """Digest for read verification (lazy: same layering discipline as
+    the lookup path's chunk import)."""
+    from repro.core.hashing import chunk_hash
+
+    return chunk_hash(data)
 
 
 class UnrecoverableChunkError(KeyError):
@@ -85,6 +108,27 @@ class MigrationReport:
     chunks_dropped: int = 0
 
 
+@dataclass
+class ClusterStats:
+    """Cluster-level health and degraded-path counters."""
+
+    #: Reads served from a surviving replica after at least one replica
+    #: failed (I/O error) or returned a corrupt payload.
+    degraded_reads: int = 0
+    #: Replica reads rejected because the payload no longer hashed to
+    #: its digest (bit rot / injected flip); the read fell through.
+    corrupt_reads: int = 0
+    #: Detector transitions: nodes that entered suspect, nodes declared
+    #: dead from errors alone (explicit ``fail_node`` not counted).
+    nodes_suspected: int = 0
+    nodes_died: int = 0
+    #: Automatic repairs triggered by a declared death, and their work.
+    repairs_auto: int = 0
+    repair_chunks_recopied: int = 0
+    repair_unrecoverable: int = 0
+    heartbeats: int = 0
+
+
 class ChunkStoreCluster:
     """Cluster of chunk-store shards behind one ChunkStore-shaped API."""
 
@@ -100,6 +144,9 @@ class ChunkStoreCluster:
         node_prefix: str = "node",
         backend: str | None = None,
         data_dir: str | os.PathLike | None = None,
+        fault_plan: FaultPlan | str | None = "env",
+        health: HealthPolicy | None = None,
+        verify_reads: bool | None = None,
     ) -> None:
         if n_nodes < 1:
             raise ValueError("n_nodes must be >= 1")
@@ -110,18 +157,119 @@ class ChunkStoreCluster:
         self._nodes: dict[str, StoreNode] = {}
         self._bloom_capacity = bloom_capacity
         self._bloom_fp_rate = bloom_fp_rate
+        # Chaos plumbing: "env" (the default) activates a plan only when
+        # REPRO_FAULTS is set, so normal runs pay nothing.  Reads are
+        # digest-verified exactly when faults are in play (or on explicit
+        # request) — arbitrary test digests must keep working unfaulted.
+        if fault_plan == "env":
+            fault_plan = FaultPlan.from_env()
+        elif isinstance(fault_plan, str):
+            fault_plan = FaultPlan.parse(fault_plan)
+        self.fault_plan: FaultPlan | None = fault_plan
+        self.verify_reads = (
+            (fault_plan is not None) if verify_reads is None else verify_reads
+        )
+        self.health = health or HealthPolicy()
+        self.detector = FailureDetector(self.health)
+        self.stats = ClusterStats()
+        self._repairing = False
+        self._repair_pending = False
         self._recipes = RecipeStore(self._make_backend("recipes"))
         self._closed = False
         for i in range(n_nodes):
             self.add_node(f"{node_prefix}-{i}")
         self.scheme.validate(self.ring)
         self.lookup = BatchedLookup(
-            self.ring, self.scheme, self._nodes, batch_size, cost_model
+            self.ring,
+            self.scheme,
+            self._nodes,
+            batch_size,
+            cost_model,
+            on_probe=self._note,
         )
 
     def _make_backend(self, name: str):
         path = self.data_dir / name if self.data_dir is not None else None
         return make_backend(self.backend_kind, path)
+
+    # -- health plumbing -----------------------------------------------
+
+    def _note(self, node_id: str, ok: bool) -> None:
+        """Feed one op outcome to the failure detector and act on it."""
+        transition = self.detector.observe(node_id, ok)
+        if transition is NodeState.SUSPECT:
+            self.stats.nodes_suspected += 1
+        elif transition is NodeState.DEAD:
+            self._declare_dead(node_id)
+
+    def _declare_dead(self, node_id: str) -> None:
+        """The detector gave up on a node: treat it as crashed."""
+        node = self._nodes.get(node_id)
+        if node is None or not node.alive:
+            return
+        node.fail()
+        if node_id in self.ring:
+            self.ring.remove_node(node_id)
+        self.stats.nodes_died += 1
+        self._auto_repair()
+
+    def _auto_repair(self) -> None:
+        """Re-replicate after a declared death (policy-gated).
+
+        A death declared *while* a repair pass is running (the pass
+        itself feeds the detector) queues one follow-up pass instead of
+        recursing.
+        """
+        if not self.health.auto_repair:
+            return
+        if self._repairing:
+            self._repair_pending = True
+            return
+        while True:
+            self._repair_pending = False
+            report = self.repair()
+            self.stats.repairs_auto += 1
+            self.stats.repair_chunks_recopied += report.chunks_recopied
+            self.stats.repair_unrecoverable += len(report.unrecoverable)
+            if not self._repair_pending:
+                break
+
+    def heartbeat(self) -> dict[str, NodeState]:
+        """Ping every live node's backend and feed the detector.
+
+        The data path already reports outcomes; the heartbeat catches a
+        crashed node that traffic happens to be missing.  Returns the
+        post-ping membership view.
+        """
+        self.stats.heartbeats += 1
+        for node in list(self._nodes.values()):
+            if not node.alive:
+                continue
+            try:
+                node.ping()
+            except NodeDownError:
+                continue
+            except OSError:
+                node.stats.io_errors += 1
+                self._note(node.node_id, False)
+            else:
+                self._note(node.node_id, True)
+        return {nid: self.detector.state(nid) for nid in self._nodes}
+
+    def health_snapshot(self) -> dict:
+        """Membership + degraded-path counters for metrics surfaces."""
+        states = {
+            nid: (self.detector.state(nid) if node.alive else NodeState.DEAD)
+            for nid, node in self._nodes.items()
+        }
+        doc: dict = {
+            "nodes": {nid: state.value for nid, state in states.items()},
+            "nodes_total": len(self._nodes),
+            "nodes_alive": len(self._alive_nodes()),
+            "verify_reads": self.verify_reads,
+        }
+        doc.update(asdict(self.stats))
+        return doc
 
     # -- node plumbing -------------------------------------------------
 
@@ -136,25 +284,153 @@ class ChunkStoreCluster:
             if self._nodes[nid].alive
         ]
 
+    def _node_holds(self, node: StoreNode, digest: bytes) -> bool:
+        """``node.holds`` with detector accounting; errors read as "no"."""
+        try:
+            held = node.holds(digest)
+        except NodeDownError:
+            return False
+        except OSError:
+            node.stats.io_errors += 1
+            self._note(node.node_id, False)
+            return False
+        self._note(node.node_id, True)
+        return held
+
     def _holder(self, digest: bytes) -> StoreNode | None:
         """Any alive node holding the chunk: placement first, then a
         degraded-mode scan (a replica may be off-placement mid-repair)."""
         placed = self._placement(digest)
         for node in placed:
-            if node.holds(digest):
+            if self._node_holds(node, digest):
                 return node
         for node in self._alive_nodes():
-            if node not in placed and node.holds(digest):
+            if node not in placed and self._node_holds(node, digest):
                 return node
         return None
 
+    def _read_any(self, digest: bytes) -> bytes | None:
+        """A verified copy from any replica, with bounded retries.
+
+        One pass over the candidates can come up empty because every
+        surviving holder hit a *transient* fault; that must not read as
+        data loss.  The pass is retried while it reports failures —
+        ``None`` without a failure means no replica holds the chunk.
+        """
+        for _attempt in range(self.READ_ATTEMPTS):
+            data, failures = self._read_any_once(digest)
+            if data is not None:
+                return data
+            if not failures:
+                break  # genuinely held nowhere; retrying cannot help
+        return None
+
+    def _read_any_once(self, digest: bytes) -> tuple[bytes | None, int]:
+        """One pass for a verified copy, falling through failures.
+
+        Placement targets are tried first, then every other alive node
+        (a copy can survive off-placement mid-repair).  Replicas that
+        error or — with ``verify_reads`` — return a payload that no
+        longer hashes to its digest are skipped and charged as degraded;
+        the read succeeds as long as *some* replica serves a good copy.
+        Returns the payload (or ``None``) and the failure count.
+        """
+        placed = self._placement(digest)
+        candidates = placed + [n for n in self._alive_nodes() if n not in placed]
+        failures = 0
+        for node in candidates:
+            try:
+                if not node.holds(digest):
+                    continue
+                data = node.get_chunk(digest)
+            except NodeDownError:
+                continue
+            except KeyError:
+                failures += 1  # holds() raced a delete; not a health signal
+                continue
+            except OSError:
+                node.stats.io_errors += 1
+                node.stats.degraded_reads += 1
+                self._note(node.node_id, False)
+                failures += 1
+                continue
+            self._note(node.node_id, True)
+            if self.verify_reads and _chunk_hash(data) != digest:
+                self.stats.corrupt_reads += 1
+                node.stats.degraded_reads += 1
+                failures += 1
+                continue
+            if failures:
+                self.stats.degraded_reads += 1
+            return data, failures
+        return None, failures
+
     # -- ChunkStore-compatible surface ---------------------------------
 
+    #: Write attempts per placement target before the error propagates.
+    #: One retry absorbs transient I/O blips locally (the common chaos
+    #: case) while a persistently sick target still errors out fast and
+    #: keeps feeding the failure detector on every attempt.
+    PUT_ATTEMPTS = 2
+    #: Full read passes over the replica set before a chunk is declared
+    #: missing; only passes that saw at least one replica *fail* (not
+    #: merely lack the chunk) are retried.
+    READ_ATTEMPTS = 3
+
+    def _put_one(self, node, digest: bytes, data: bytes) -> bool:
+        """Write one replica with bounded retry; True iff it landed.
+
+        Raises the final OSError only when the target is still a live
+        ring member after exhausting its attempts — a node the failed
+        writes killed has left the replica set and is not owed a copy.
+        """
+        for attempt in range(self.PUT_ATTEMPTS):
+            try:
+                node.put_chunk(digest, data)
+            except NodeDownError:
+                return False  # raced a declared death; placement shrank
+            except OSError as exc:
+                node.stats.io_errors += 1
+                self._note(node.node_id, False)
+                if attempt + 1 < self.PUT_ATTEMPTS:
+                    continue
+                if node.alive:
+                    raise
+                return False
+            else:
+                self._note(node.node_id, True)
+                return True
+        return False
+
     def put_chunk(self, digest: bytes, data: bytes) -> bool:
-        """Store a chunk on every placement target; False if known."""
+        """Store a chunk on every placement target; False if known.
+
+        Durability is strict: if any placement write errors past its
+        retry budget, the error propagates (after every target was
+        attempted) — an acked chunk always has its full replica set.
+        Copies that did land make the caller's retry a cheap
+        content-addressed no-op.
+        """
         known = self._holder(digest) is not None
-        for node in self._placement(digest):
-            node.put_chunk(digest, data)
+        targets = self._placement(digest)
+        if not targets:
+            raise NodeDownError(
+                f"no alive placement target for chunk {digest.hex()[:16]}"
+            )
+        last_error: OSError | None = None
+        stored = 0
+        for node in targets:
+            try:
+                if self._put_one(node, digest, data):
+                    stored += 1
+            except OSError as exc:
+                last_error = exc
+        if last_error is not None:
+            raise last_error
+        if stored == 0 and not known:
+            # Every target died mid-put without a hard error surviving:
+            # re-place on the shrunken ring (bounded by node count).
+            return self.put_chunk(digest, data)
         return not known
 
     def has_chunk(self, digest: bytes) -> bool:
@@ -166,13 +442,13 @@ class ChunkStoreCluster:
         return [self.put_chunk(digest, data) for digest, data in items]
 
     def get_chunk(self, digest: bytes) -> bytes:
-        node = self._holder(digest)
-        if node is None:
+        data = self._read_any(digest)
+        if data is None:
             raise KeyError(
                 f"chunk {digest.hex()[:16]} missing from cluster "
                 f"({len(self._alive_nodes())}/{len(self._nodes)} nodes alive)"
             )
-        return node.get_chunk(digest)
+        return data
 
     def put_recipe(self, recipe: SnapshotRecipe) -> None:
         # RecipeStore.put rejects duplicates; only the chunk-presence
@@ -184,6 +460,19 @@ class ChunkStoreCluster:
                 "missing chunks"
             )
         self._recipes.put(recipe)
+        if any(not n.alive for n in self._nodes.values()) and not self._repairing:
+            # A node died while this snapshot was being written: the
+            # auto-repair that ran at death time was recipe-driven, so
+            # chunks stored *before* this recipe existed may be down to
+            # a single replica.  Heal exactly this snapshot's digests
+            # now that they are enumerable.
+            report = RepairReport(chunks_scanned=len(recipe.digests))
+            self._repairing = True
+            try:
+                self._repair_digests(recipe.digests, report)
+            finally:
+                self._repairing = False
+            self.stats.repair_chunks_recopied += report.chunks_recopied
 
     def get_recipe(self, snapshot_id: str) -> SnapshotRecipe:
         return self._recipes.get(snapshot_id)
@@ -242,20 +531,29 @@ class ChunkStoreCluster:
             node_id = f"node-{len(self._nodes)}"
         if node_id in self._nodes:
             raise ValueError(f"node {node_id!r} already exists")
+        backend = self._make_backend(node_id)
+        if self.fault_plan is not None:
+            backend = self.fault_plan.wrap_backend(backend, node_id)
         self._nodes[node_id] = StoreNode(
             node_id,
             self._bloom_capacity,
             self._bloom_fp_rate,
-            backend=self._make_backend(node_id),
+            backend=backend,
         )
+        self.detector.forget(node_id)  # a replacement starts with a clean slate
         self.ring.add_node(node_id)
         return node_id
 
     def fail_node(self, node_id: str) -> None:
         """Crash a node: its shard contents are lost and it leaves the
-        ring, so placements immediately stop targeting it."""
+        ring, so placements immediately stop targeting it.
+
+        This is the *explicit* drill entry point — the detector records
+        the death, but no automatic repair runs; the operator (or test)
+        drives :meth:`repair` and observes the degraded window."""
         node = self._node(node_id)
         node.fail()
+        self.detector.mark_dead(node_id)
         self.ring.remove_node(node_id)
 
     def decommission(self, node_id: str) -> MigrationReport:
@@ -287,20 +585,44 @@ class ChunkStoreCluster:
         """
         live = self._recipes.live_digests()
         report = RepairReport(chunks_scanned=len(live))
-        lost: list[bytes] = []
-        for digest in live:
-            holder = self._holder(digest)
-            if holder is None:
-                lost.append(digest)
-                continue
-            data = holder.get_chunk(digest)
-            for target in self._placement(digest):
-                if not target.holds(digest):
-                    target.put_chunk(digest, data)
-                    report.chunks_recopied += 1
-                    report.bytes_copied += len(data)
+        self._repairing = True
+        try:
+            lost = self._repair_digests(live, report)
+        finally:
+            self._repairing = False
         report.unrecoverable = tuple(lost)
         return report
+
+    def _repair_digests(self, digests, report: RepairReport) -> list[bytes]:
+        """Re-replicate the given digests onto their current placement.
+
+        Copies from any surviving replica to targets that lack it,
+        accumulating work into ``report``; returns the digests with no
+        surviving replica at all.
+        """
+        lost: list[bytes] = []
+        for digest in digests:
+            data = self._read_any(digest)
+            if data is None:
+                lost.append(digest)
+                continue
+            for target in self._placement(digest):
+                if self._node_holds(target, digest):
+                    continue
+                try:
+                    target.put_chunk(digest, data)
+                except NodeDownError:
+                    continue
+                except OSError:
+                    # Copy lost to a fault: the replica stays short
+                    # this pass; the next repair pass recopies it.
+                    target.stats.io_errors += 1
+                    self._note(target.node_id, False)
+                    continue
+                self._note(target.node_id, True)
+                report.chunks_recopied += 1
+                report.bytes_copied += len(data)
+        return lost
 
     def rebalance(self) -> MigrationReport:
         """Move chunks to their current placement after a ring resize.
@@ -311,8 +633,9 @@ class ChunkStoreCluster:
         report = MigrationReport()
         for digest in self.digests():
             targets = self._placement(digest)
-            holder = self._holder(digest)
-            data = holder.get_chunk(digest)
+            data = self._read_any(digest)
+            if data is None:
+                continue  # every replica erroring; repair() owns recovery
             for target in targets:
                 if target.put_chunk(digest, data):
                     report.chunks_moved += 1

@@ -80,6 +80,9 @@ class BatchLookupStats:
     #: (a multi-replica miss can probe several filters for one digest).
     bloom_probes: int = 0
     index_walks: int = 0
+    #: Probes a replica failed with an I/O error (the replica is treated
+    #: as unavailable for that digest; surviving replicas still answer).
+    probe_errors: int = 0
 
     @property
     def misses(self) -> int:
@@ -94,6 +97,7 @@ class BatchLookupStats:
         self.false_positives += other.false_positives
         self.bloom_probes += other.bloom_probes
         self.index_walks += other.index_walks
+        self.probe_errors += other.probe_errors
 
 
 class BatchedLookup:
@@ -113,6 +117,7 @@ class BatchedLookup:
         nodes: Mapping[str, StoreNode],
         batch_size: int = 128,
         cost_model: LookupCostModel | None = None,
+        on_probe=None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -121,6 +126,9 @@ class BatchedLookup:
         self.nodes = nodes
         self.batch_size = batch_size
         self.cost_model = cost_model or LookupCostModel()
+        #: Optional ``(node_id, ok)`` observer — the cluster wires its
+        #: failure detector here so probe outcomes drive membership.
+        self.on_probe = on_probe
 
     # -- probing -------------------------------------------------------
 
@@ -137,9 +145,22 @@ class BatchedLookup:
             node = self.nodes.get(node_id)
             if node is None or not node.alive:
                 continue
+            try:
+                result = node.probe(digest)
+            except NodeDownError:
+                continue  # raced a mid-batch death; try the next replica
+            except OSError:
+                # A replica that errors is unavailable for this digest,
+                # not a verdict: surviving replicas still answer.
+                node.stats.io_errors += 1
+                stats.probe_errors += 1
+                if self.on_probe is not None:
+                    self.on_probe(node_id, False)
+                continue
             probed = True
-            result = node.probe(digest)
             stats.bloom_probes += 1
+            if self.on_probe is not None:
+                self.on_probe(node_id, True)
             if result is ProbeResult.HIT:
                 stats.hits += 1
                 return True

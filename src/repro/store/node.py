@@ -64,6 +64,11 @@ class NodeStats:
     #: the saturation signal, not a rebuild odometer.
     bloom_fill_ratio: float = 0.0
     bloom_rebuilds: int = 0
+    #: Health signals: backend operations that raised an I/O error, and
+    #: reads this node failed to serve (error or corrupt payload) that a
+    #: surviving replica had to cover.
+    io_errors: int = 0
+    degraded_reads: int = 0
 
 
 class StoreNode:
@@ -148,6 +153,15 @@ class StoreNode:
             )
         return data
 
+    def ping(self) -> None:
+        """Heartbeat: a minimal backend round trip, no stats charged.
+
+        Raises whatever the backend raises — the failure detector
+        classifies the outcome, not the node.
+        """
+        self._require_alive()
+        self._backend.contains_batch([b"\x00heartbeat"])
+
     def delete_chunk(self, digest: bytes) -> int:
         """Drop one chunk; returns bytes freed (0 if absent)."""
         self._require_alive()
@@ -162,7 +176,10 @@ class StoreNode:
     def fail(self) -> None:
         """Simulate a crash: the node and its shard contents are gone."""
         self.alive = False
-        self._backend.clear()
+        try:
+            self._backend.clear()
+        except OSError:
+            pass  # a crashed backend cannot be cleared; contents are gone regardless
         self._bloom.clear()
         self._track_fill()
 

@@ -12,7 +12,12 @@ sweeps the three cluster knobs against the single-node baseline:
 * **node count** — shard occupancy stays balanced (consistent hashing
   with virtual nodes) while lookup cost stays flat;
 * **replication factor** — physical bytes scale with r, the price of
-  surviving r-1 node losses (verified by a failure + repair drill).
+  surviving r-1 node losses (verified by a failure + repair drill);
+* **redundancy scheme** — replication vs erasure coding head to head:
+  storage overhead (r x for replicas, (k+m)/k + framing for EC),
+  healthy vs degraded restore cost (EC decodes through parity after a
+  node loss), and repair traffic per failed node (EC rebuilds ship
+  1/k-size fragments instead of whole chunks).
 
 Run standalone for the CI smoke: ``python benchmarks/bench_cluster_scaling.py --quick``.
 """
@@ -20,6 +25,7 @@ Run standalone for the CI smoke: ``python benchmarks/bench_cluster_scaling.py --
 from __future__ import annotations
 
 import sys
+import time
 
 from repro.backup import BackupConfig, BackupServer, MasterImage, SimilarityTable
 from repro.bench.reporting import ResultTable, format_table
@@ -111,6 +117,43 @@ def sweep_replication(stream, factors, nodes=4, batch=128):
     return rows
 
 
+def sweep_redundancy(stream, schemes, nodes=8, batch=128):
+    """[(label, overhead, healthy_s, degraded_s, repair_bytes)].
+
+    Each scheme restores the full stream twice — once healthy, once
+    after ``node-0`` is killed (degraded: replicas fall back to
+    surviving copies, EC decodes through parity) — then repairs and
+    reports how many bytes the rebuild shipped.
+    """
+    rows = []
+    for label, kwargs in schemes:
+        _, server = run_stream(
+            BackupConfig(
+                store_backend="cluster",
+                cluster_nodes=nodes,
+                lookup_batch_size=batch,
+                **kwargs,
+            ),
+            stream,
+        )
+        cluster = server.cluster
+        overhead = cluster.stored_bytes / cluster.unique_bytes
+        t0 = time.perf_counter()
+        for snapshot_id, data in stream:
+            assert cluster.restore(snapshot_id) == data
+        healthy_s = time.perf_counter() - t0
+        cluster.fail_node("node-0")
+        t0 = time.perf_counter()
+        for snapshot_id, data in stream:
+            assert cluster.restore(snapshot_id) == data
+        degraded_s = time.perf_counter() - t0
+        repair = cluster.repair()
+        assert repair.healthy, f"{label}: repair left chunks lost"
+        server.close()
+        rows.append((label, overhead, healthy_s, degraded_s, repair.bytes_copied))
+    return rows
+
+
 def check_acceptance(batch_rows, baseline) -> None:
     """Batched/Bloom-filtered stage strictly below baseline for B >= 64."""
     for batch, seconds in batch_rows:
@@ -121,7 +164,8 @@ def check_acceptance(batch_rows, baseline) -> None:
             )
 
 
-def build_tables(report, size_mb, batch_sizes, node_counts, replications):
+def build_tables(report, size_mb, batch_sizes, node_counts, replications,
+                 redundancy_schemes=()):
     stream = make_stream(size_mb)
 
     batch_rows, baseline = sweep_batch_size(stream, batch_sizes)
@@ -157,6 +201,45 @@ def build_tables(report, size_mb, batch_sizes, node_counts, replications):
         assert overhead > r - 0.5
         assert repair_ok == (r >= 2)
 
+    if redundancy_schemes:
+        red_rows = sweep_redundancy(stream, redundancy_schemes)
+        t4 = report(
+            "Replication vs erasure coding (one node failed + repaired)",
+            ["Scheme", "physical/logical bytes", "healthy restore [ms]",
+             "degraded restore [ms]", "repair traffic [KiB]"],
+            paper_note="EC stores ~(k+m)/k x and repairs ship 1/k-size "
+                       "fragments; degraded reads pay the decode",
+        )
+        by_label = {}
+        for label, overhead, healthy_s, degraded_s, repair_bytes in red_rows:
+            t4.add(label, overhead, healthy_s * 1e3, degraded_s * 1e3,
+                   repair_bytes / 1024)
+            by_label[label] = (overhead, repair_bytes)
+        if "replicated r=2" in by_label and "ec 4+2" in by_label:
+            r2_overhead, r2_repair = by_label["replicated r=2"]
+            ec_overhead, ec_repair = by_label["ec 4+2"]
+            # (k+m)/k + per-fragment framing stays below whole-copy r=2.
+            assert ec_overhead < r2_overhead, (
+                f"ec overhead {ec_overhead:.2f}x not below "
+                f"r=2 overhead {r2_overhead:.2f}x"
+            )
+            # Rebuilds ship 1/k-size fragments, not whole chunks.
+            assert ec_repair < r2_repair, (
+                f"ec repair traffic {ec_repair}B not below "
+                f"replicated {r2_repair}B"
+            )
+
+
+REDUNDANCY_FULL = (
+    ("replicated r=2", dict(replication=2)),
+    ("replicated r=3", dict(replication=3)),
+    ("ec 4+2", dict(placement="ec", ec_k=4, ec_m=2)),
+)
+REDUNDANCY_QUICK = (
+    ("replicated r=2", dict(replication=2)),
+    ("ec 4+2", dict(placement="ec", ec_k=4, ec_m=2)),
+)
+
 
 def test_cluster_scaling(benchmark, report):
     benchmark.pedantic(
@@ -166,6 +249,7 @@ def test_cluster_scaling(benchmark, report):
             batch_sizes=(1, 16, 64, 256),
             node_counts=(1, 2, 4, 8),
             replications=(1, 2, 3),
+            redundancy_schemes=REDUNDANCY_FULL,
         ),
         rounds=1,
         iterations=1,
@@ -183,10 +267,12 @@ def main(argv=None) -> int:
 
     if quick:
         build_tables(report, size_mb=2, batch_sizes=(1, 64),
-                     node_counts=(1, 4), replications=(1, 2))
+                     node_counts=(1, 4), replications=(1, 2),
+                     redundancy_schemes=REDUNDANCY_QUICK)
     else:
         build_tables(report, size_mb=4, batch_sizes=(1, 16, 64, 256),
-                     node_counts=(1, 2, 4, 8), replications=(1, 2, 3))
+                     node_counts=(1, 2, 4, 8), replications=(1, 2, 3),
+                     redundancy_schemes=REDUNDANCY_FULL)
     for table in tables:
         print(format_table(table))
         print()

@@ -106,9 +106,17 @@ class BackupConfig:
     store_backend: str = "single"
     #: Cluster sizing and placement (ignored for the single backend).
     cluster_nodes: int = 4
-    placement: str = "replicated"  # "vanilla" | "striped" | "replicated"
+    placement: str = "replicated"  # "vanilla" | "striped" | "replicated" | "ec"
     replication: int = 2
     stripe_width: int = 4
+    #: Erasure-coding geometry (placement="ec"): k data + m parity
+    #: fragments per chunk on k + m distinct nodes.
+    ec_k: int = 4
+    ec_m: int = 2
+    #: Bounded cluster retry budgets; ``None`` keeps the cluster's
+    #: defaults (READ_ATTEMPTS / PUT_ATTEMPTS).
+    read_attempts: int | None = None
+    put_attempts: int | None = None
     #: Batched-lookup knobs: digests per batch, per-batch dispatch cost,
     #: and the in-memory Bloom probe that replaces full-index misses.
     lookup_batch_size: int = 128
@@ -136,6 +144,12 @@ class BackupConfig:
             raise ValueError("lookup_batch_size must be >= 1")
         if self.pipeline_batch_chunks is not None and self.pipeline_batch_chunks < 1:
             raise ValueError("pipeline_batch_chunks must be >= 1")
+        if self.ec_k < 1 or self.ec_m < 0:
+            raise ValueError("ec geometry wants k >= 1 and m >= 0")
+        if self.read_attempts is not None and self.read_attempts < 1:
+            raise ValueError("read_attempts must be >= 1")
+        if self.put_attempts is not None and self.put_attempts < 1:
+            raise ValueError("put_attempts must be >= 1")
 
 
 @dataclass
@@ -201,7 +215,11 @@ class BackupServer:
                     cfg.placement,
                     replicas=cfg.replication,
                     stripe_width=cfg.stripe_width,
+                    ec_k=cfg.ec_k,
+                    ec_m=cfg.ec_m,
                 ),
+                read_attempts=cfg.read_attempts,
+                put_attempts=cfg.put_attempts,
                 batch_size=cfg.lookup_batch_size,
                 bloom_fp_rate=cfg.bloom_fp_rate,
                 cost_model=LookupCostModel(

@@ -14,9 +14,13 @@ Commands
 ``cluster FILE``    dedup backup through the sharded chunk-store cluster,
                     with optional node-failure + repair drill; ``--backend
                     disk --data-dir DIR`` persists every shard/recipe so a
-                    later run reopens them
+                    later run reopens them; ``--placement ec --ec 4+2``
+                    stores Reed–Solomon fragments instead of replicas
 ``serve``           run the multi-tenant backup service daemon (agent
                     wire protocol + /health + /metrics on one port)
+``scrub DIR``       reopen a persistent cluster and run one integrity
+                    pass: re-digest every stored payload/fragment,
+                    rebuild mismatches from parity/replicas
 ``tune``            measure + persist the striped-scan geometry for this
                     host (tile size, lanes, fused roll steps, threads)
 """
@@ -270,6 +274,20 @@ def _free_snapshot_id(store, base: str = "cli") -> str:
         sid = f"{base}-{n}"
 
 
+def _parse_ec(spec: str) -> tuple[int, int]:
+    """Parse an ``--ec K+M`` geometry (e.g. ``4+2``)."""
+    k_s, sep, m_s = spec.partition("+")
+    if not sep:
+        raise argparse.ArgumentTypeError(f"--ec wants K+M (e.g. 4+2), got {spec!r}")
+    try:
+        k, m = int(k_s), int(m_s)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"--ec wants integers K+M, got {spec!r}")
+    if k < 1 or m < 0:
+        raise argparse.ArgumentTypeError(f"--ec wants K >= 1 and M >= 0, got {spec!r}")
+    return k, m
+
+
 def _parse_remote(remote: str) -> tuple[str, int]:
     host, sep, port_s = remote.rpartition(":")
     if not sep or not host:
@@ -372,6 +390,10 @@ def cmd_cluster(args) -> int:
             cluster_nodes=args.nodes,
             placement=args.placement,
             replication=args.replication,
+            ec_k=args.ec[0],
+            ec_m=args.ec[1],
+            read_attempts=args.read_attempts,
+            put_attempts=args.put_attempts,
             lookup_batch_size=args.batch_size,
         )
         server = BackupServer(config)
@@ -387,9 +409,12 @@ def cmd_cluster(args) -> int:
                   f"({server.storage_kind} backend, snapshot "
                   f"{snapshot_id!r}; reopen with the same --nodes "
                   "to restore)")
+        scheme_desc = (
+            f"ec {args.ec[0]}+{args.ec[1]}" if args.placement == "ec"
+            else f"{args.placement}, r={args.replication}"
+        )
         print(f"backed up {report.total_bytes} B as {report.n_chunks} chunks "
-              f"across {cluster.n_nodes_alive} nodes "
-              f"({args.placement}, r={args.replication})")
+              f"across {cluster.n_nodes_alive} nodes ({scheme_desc})")
         print(f"  shipped {report.shipped_bytes} B "
               f"({report.dedup_fraction:.1%} duplicate chunks)")
         print(f"  batched lookups: {stats.n_batches} batches of "
@@ -414,8 +439,9 @@ def cmd_cluster(args) -> int:
             )
             cluster.fail_node(victim)
             repair = cluster.repair()
+            unit = "fragments" if args.placement == "ec" else "chunks"
             print(f"failure drill: killed {victim}; repair re-copied "
-                  f"{repair.chunks_recopied} chunks "
+                  f"{repair.chunks_recopied} {unit} "
                   f"({repair.bytes_copied} B)")
             if not repair.healthy:
                 print(f"  {len(repair.unrecoverable)} chunks unrecoverable "
@@ -444,6 +470,11 @@ def cmd_serve(args) -> int:
             data_dir=args.data_dir,
             store_backend=args.store_backend,
             cluster_nodes=args.nodes,
+            placement=args.placement,
+            replication=args.replication,
+            ec_k=args.ec[0],
+            ec_m=args.ec[1],
+            scrub_batch=args.scrub,
             max_sessions=args.max_sessions,
             queue_depth=args.queue_depth,
             faults=args.faults,
@@ -480,6 +511,48 @@ def cmd_serve(args) -> int:
         print("service stopped; store closed cleanly")
 
     asyncio.run(run())
+    return 0
+
+
+def cmd_scrub(args) -> int:
+    from repro.store import ChunkStoreCluster
+    from repro.store.schemes import make_scheme
+
+    root = Path(args.data_dir)
+    if not root.exists():
+        raise SystemExit(f"data dir {args.data_dir} does not exist")
+    # `repro cluster/serve --data-dir DIR` nest shards under DIR/cluster;
+    # accept either the root or the cluster dir itself.
+    cluster_dir = root / "cluster" if (root / "cluster").exists() else root
+    try:
+        cluster = ChunkStoreCluster(
+            n_nodes=args.nodes,
+            scheme=make_scheme(
+                args.placement,
+                replicas=args.replication,
+                ec_k=args.ec[0],
+                ec_m=args.ec[1],
+            ),
+            backend="disk",
+            data_dir=cluster_dir,
+        )
+    except (ValueError, OSError) as exc:
+        raise SystemExit(f"cannot open cluster at {cluster_dir}: {exc}")
+    with cluster:
+        report = cluster.scrub(limit=args.limit)
+        stored = sum(n.chunk_count for n in cluster.nodes.values() if n.alive)
+    print(f"scrubbed {report.chunks_scanned} stored items "
+          f"({report.bytes_verified} B re-digested) of {stored} "
+          f"across {args.nodes} shards under {cluster_dir}")
+    if report.corrupt:
+        print(f"  {report.corrupt} failed verification: "
+              f"{report.repaired} rebuilt from "
+              f"{'parity' if args.placement == 'ec' else 'replicas'}, "
+              f"{report.unrepaired} left in place (no healthy source)")
+    else:
+        print("  every item verified clean")
+    if not report.healthy:
+        return 1
     return 0
 
 
@@ -546,6 +619,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--threads", type=int, default=None, metavar="N",
                        help="worker threads for the scan + hash pools "
                        "(0/1 = serial; default: REPRO_THREADS or CPU count)")
+
+    def add_placement_args(p, with_striped: bool = True):
+        choices = ("vanilla", "striped", "replicated", "ec") if with_striped \
+            else ("vanilla", "replicated", "ec")
+        p.add_argument("--placement", choices=choices, default="replicated")
+        p.add_argument("--replication", type=int, default=2,
+                       help="copies per chunk (replicated placement)")
+        p.add_argument("--ec", type=_parse_ec, default=(4, 2), metavar="K+M",
+                       help="erasure-coding geometry for --placement ec: "
+                       "K data + M parity fragments per chunk, any K of "
+                       "K+M reconstruct (default 4+2)")
 
     def add_storage_args(p):
         p.add_argument("--engine", choices=("gpu", "cpu"), default="gpu",
@@ -618,6 +702,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="backup-site payload store behind the service")
     p_serve.add_argument("--nodes", type=int, default=4,
                          help="cluster shard count (--store-backend cluster)")
+    add_placement_args(p_serve)
+    p_serve.add_argument("--scrub", type=int, default=0, metavar="N",
+                         help="stored items the background scrubber "
+                         "re-verifies per heartbeat (needs --heartbeat; "
+                         "0 = off)")
     p_serve.add_argument("--max-sessions", type=int, default=64,
                          help="concurrent agent sessions before BUSY")
     p_serve.add_argument("--queue-depth", type=int, default=4,
@@ -652,17 +741,36 @@ def build_parser() -> argparse.ArgumentParser:
     add_storage_args(p_cluster)
     p_cluster.add_argument("--nodes", type=int, default=4,
                            help="store nodes on the consistent-hash ring")
-    p_cluster.add_argument("--placement",
-                           choices=("vanilla", "striped", "replicated"),
-                           default="replicated")
-    p_cluster.add_argument("--replication", type=int, default=2,
-                           help="copies per chunk (replicated placement)")
+    add_placement_args(p_cluster)
+    p_cluster.add_argument("--read-attempts", type=int, default=None,
+                           metavar="N",
+                           help="full read passes over the replica set "
+                           "before a chunk is declared missing (default 3)")
+    p_cluster.add_argument("--put-attempts", type=int, default=None,
+                           metavar="N",
+                           help="write attempts per placement target before "
+                           "the error propagates (default 2)")
     p_cluster.add_argument("--batch-size", type=int, default=128,
                            help="digests per batched index lookup")
     p_cluster.add_argument("--fail-node", action="store_true",
                            help="kill the fullest node, repair, then restore")
     add_threads_arg(p_cluster)
     p_cluster.set_defaults(fn=cmd_cluster)
+
+    p_scrub = sub.add_parser(
+        "scrub",
+        help="one integrity pass over a persistent cluster's shards",
+    )
+    p_scrub.add_argument("data_dir", metavar="DIR",
+                         help="the --data-dir a `repro cluster`/`repro "
+                         "serve` run persisted its shards under")
+    p_scrub.add_argument("--nodes", type=int, default=4,
+                         help="shard count the cluster was created with")
+    add_placement_args(p_scrub)
+    p_scrub.add_argument("--limit", type=int, default=None, metavar="N",
+                         help="verify at most N stored items (default: "
+                         "one full pass)")
+    p_scrub.set_defaults(fn=cmd_scrub)
 
     p_tune = sub.add_parser(
         "tune", help="measure + persist the striped-scan geometry for this host"

@@ -112,7 +112,7 @@ class FaultyBackend:
                 bit = self._rng.randrange(len(value) * 8)
                 value[bit // 8] ^= 1 << (bit % 8)
                 values[i] = bytes(value)
-                self.fault_stats.add("bit_flips")
+                self.fault_stats.add("bit_flips_injected")
         return values
 
     def put_batch(

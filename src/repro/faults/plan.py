@@ -27,6 +27,8 @@ A plan is a comma-separated list of ``key=value`` clauses::
 * ``node.kill`` — ``<node_id>:<op>``: that node's backend dies
   permanently at its Nth data-plane operation (an injected crash; the
   failure detector must notice without an explicit ``fail_node()``).
+  Repeatable — one clause per node lets a drill kill several nodes at
+  staggered points (e.g. two deaths against an ``ec 4+2`` placement).
 """
 
 from __future__ import annotations
@@ -106,7 +108,11 @@ class FaultStats:
         "io_errors",
         "latencies",
         "torn_writes",
-        "bit_flips",
+        # Injected vs detected: every flip the plan put on the wire, and
+        # how many of those digest verification (read path or scrub)
+        # actually caught.  A healthy drill drives the gap toward zero.
+        "bit_flips_injected",
+        "bit_flips_detected",
         "kills",
         "wire_drops",
         "wire_stalls",
@@ -174,9 +180,14 @@ class FaultPlan:
     seed: int = 0
     backend: BackendFaultSpec = field(default_factory=BackendFaultSpec)
     wire: WireFaultSpec = field(default_factory=WireFaultSpec)
-    kill: KillSpec | None = None
+    kills: tuple[KillSpec, ...] = ()
     spec: str = ""
     stats: FaultStats = field(default_factory=FaultStats, compare=False)
+
+    @property
+    def kill(self) -> KillSpec | None:
+        """The first scheduled kill (legacy single-kill accessor)."""
+        return self.kills[0] if self.kills else None
 
     # -- construction --------------------------------------------------
 
@@ -186,7 +197,7 @@ class FaultPlan:
         seed = 0
         backend: dict[str, float] = {}
         wire: dict[str, float] = {}
-        kill: KillSpec | None = None
+        kills: list[KillSpec] = []
         for clause in spec.split(","):
             clause = clause.strip()
             if not clause:
@@ -225,7 +236,11 @@ class FaultPlan:
                     raise ValueError(f"fault clause {clause!r}: bad op count") from None
                 if at_op < 1:
                     raise ValueError(f"fault clause {clause!r}: op count must be >= 1")
-                kill = KillSpec(node_id, at_op)
+                if any(k.node_id == node_id for k in kills):
+                    raise ValueError(
+                        f"fault clause {clause!r}: duplicate kill for {node_id!r}"
+                    )
+                kills.append(KillSpec(node_id, at_op))
             else:
                 known = sorted(
                     ["seed", "node.kill"]
@@ -239,7 +254,7 @@ class FaultPlan:
             seed=seed,
             backend=BackendFaultSpec(**backend),
             wire=WireFaultSpec(**wire),
-            kill=kill,
+            kills=tuple(kills),
             spec=spec,
         )
 
@@ -266,7 +281,9 @@ class FaultPlan:
         """
         from repro.faults.backend import FaultyBackend
 
-        kill_at = self.kill.at_op if self.kill and self.kill.node_id == name else None
+        kill_at = next(
+            (ks.at_op for ks in self.kills if ks.node_id == name), None
+        )
         if not self.backend.active and kill_at is None:
             return backend
         return FaultyBackend(

@@ -9,6 +9,15 @@ timers, and every live ``BackendStats``/``NodeStats`` — exported as
 JSON (``GET /metrics``), Prometheus-style plain text
 (``GET /metrics?format=text``), and a cheap liveness answer
 (``GET /health``).
+
+When the store is a cluster, its ``health_snapshot()`` rides along
+under ``store.cluster`` — including the integrity-scrub counters
+(``scrub_chunks`` / ``scrub_corrupt`` / ``scrub_repaired``) and
+``ec_parity_decodes`` for erasure-coded placements.  When a fault plan
+is active, ``faults`` reports both sides of the corruption ledger:
+``bit_flips_injected`` (what the chaos harness did) next to
+``bit_flips_detected`` (what digest verification caught), so a drill
+can assert detection keeps pace with injection.
 """
 
 from __future__ import annotations

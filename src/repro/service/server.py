@@ -48,6 +48,7 @@ from repro.service.protocol import Err, Msg
 from repro.service.tenant import TenantRegistry
 from repro.store.backend import resolve_backend
 from repro.store.cluster import ChunkStoreCluster
+from repro.store.health import HealthPolicy
 from repro.store.lookup import LookupCostModel
 from repro.store.schemes import make_scheme
 
@@ -70,9 +71,18 @@ class ServiceConfig:
     #: Backup-site payload store: "single" | "cluster".
     store_backend: str = "single"
     cluster_nodes: int = 4
-    placement: str = "replicated"
+    placement: str = "replicated"  # "vanilla" | "striped" | "replicated" | "ec"
     replication: int = 2
     stripe_width: int = 4
+    #: Erasure-coding geometry (placement="ec").
+    ec_k: int = 4
+    ec_m: int = 2
+    #: Stored items the cluster's background scrubber re-verifies per
+    #: heartbeat (0 disables; needs ``heartbeat_s``).
+    scrub_batch: int = 0
+    #: Bounded cluster retry budgets; ``None`` keeps the defaults.
+    read_attempts: int | None = None
+    put_attempts: int | None = None
     lookup_batch_size: int = 128
     #: Concurrent agent sessions admitted before ERROR[BUSY].
     max_sessions: int = 64
@@ -119,6 +129,14 @@ class ServiceConfig:
             raise ValueError("drain_s must be >= 0")
         if self.heartbeat_s is not None and self.heartbeat_s <= 0:
             raise ValueError("heartbeat_s must be positive (or None)")
+        if self.ec_k < 1 or self.ec_m < 0:
+            raise ValueError("ec geometry wants k >= 1 and m >= 0")
+        if self.scrub_batch < 0:
+            raise ValueError("scrub_batch must be >= 0")
+        if self.read_attempts is not None and self.read_attempts < 1:
+            raise ValueError("read_attempts must be >= 1")
+        if self.put_attempts is not None and self.put_attempts < 1:
+            raise ValueError("put_attempts must be >= 1")
 
 
 @dataclass
@@ -172,7 +190,12 @@ class BackupService:
                     cfg.placement,
                     replicas=cfg.replication,
                     stripe_width=cfg.stripe_width,
+                    ec_k=cfg.ec_k,
+                    ec_m=cfg.ec_m,
                 ),
+                health=HealthPolicy(scrub_batch=cfg.scrub_batch),
+                read_attempts=cfg.read_attempts,
+                put_attempts=cfg.put_attempts,
                 batch_size=cfg.lookup_batch_size,
                 cost_model=LookupCostModel(),
                 backend=self.storage_kind,

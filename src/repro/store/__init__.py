@@ -25,12 +25,21 @@ from repro.store.cluster import (
     ChunkStoreCluster,
     MigrationReport,
     RepairReport,
+    ScrubReport,
     UnrecoverableChunkError,
+)
+from repro.store.erasure import (
+    CorruptFragmentError,
+    FragmentFormatError,
+    FragmentRecord,
+    ReedSolomonCodec,
+    codec_for,
 )
 from repro.store.lookup import BatchedLookup, BatchLookupStats, LookupCostModel
 from repro.store.node import NodeDownError, NodeStats, ProbeResult, StoreNode
 from repro.store.ring import DEFAULT_VNODES, HashRing
 from repro.store.schemes import (
+    ErasureCodedPlacement,
     PlacementScheme,
     ReplicatedPlacement,
     StripedPlacement,
@@ -51,7 +60,13 @@ __all__ = [
     "ChunkStoreCluster",
     "MigrationReport",
     "RepairReport",
+    "ScrubReport",
     "UnrecoverableChunkError",
+    "CorruptFragmentError",
+    "FragmentFormatError",
+    "FragmentRecord",
+    "ReedSolomonCodec",
+    "codec_for",
     "BatchedLookup",
     "BatchLookupStats",
     "LookupCostModel",
@@ -61,6 +76,7 @@ __all__ = [
     "StoreNode",
     "DEFAULT_VNODES",
     "HashRing",
+    "ErasureCodedPlacement",
     "PlacementScheme",
     "ReplicatedPlacement",
     "StripedPlacement",

@@ -36,6 +36,23 @@ corrupt replicas to any surviving copy (``degraded_reads`` /
 :class:`~repro.faults.FaultPlan` (the ``REPRO_FAULTS`` env var) every
 shard backend is wrapped in a chaos decorator and reads are
 digest-verified end to end.
+
+Under :class:`~repro.store.schemes.ErasureCodedPlacement` the unit of
+storage is a Reed–Solomon *fragment* (``k`` data slices + ``m`` parity,
+:mod:`repro.store.erasure`), one per placement node, keyed by the chunk
+digest.  Reads gather whichever ``k`` verified fragments are cheapest
+(healthy data fragments first; parity decodes cover up to ``m`` dead
+nodes or corrupt fragments), :meth:`repair` rebuilds only the missing
+fragments from any ``k`` survivors, and GC / decommission / rebalance
+operate on fragments through the same digest-keyed machinery.
+
+:meth:`scrub` is the background integrity loop on top of the same
+verify-on-read machinery: it walks shard contents at a bounded rate
+(``HealthPolicy.scrub_batch`` items per :meth:`heartbeat`, or a full
+pass on demand), re-digests every payload/fragment, quarantines
+mismatches, and rebuilds them from parity or surviving replicas —
+``scrub_{chunks,corrupt,repaired}`` in :class:`ClusterStats` close the
+loop with ``FaultPlan``'s ``backend.bit_flip`` injections.
 """
 
 from __future__ import annotations
@@ -47,6 +64,12 @@ from typing import TYPE_CHECKING
 
 from repro.faults import FaultPlan
 from repro.store.backend import RecipeStore, make_backend, resolve_backend
+from repro.store.erasure import (
+    CorruptFragmentError,
+    FragmentFormatError,
+    codec_for,
+    unpack_fragment,
+)
 from repro.store.health import FailureDetector, HealthPolicy, NodeState
 from repro.store.lookup import BatchedLookup, BatchLookupStats, LookupCostModel
 from repro.store.node import NodeDownError, StoreNode
@@ -61,6 +84,7 @@ __all__ = [
     "ClusterStats",
     "RepairReport",
     "MigrationReport",
+    "ScrubReport",
     "UnrecoverableChunkError",
 ]
 
@@ -109,6 +133,28 @@ class MigrationReport:
 
 
 @dataclass
+class ScrubReport:
+    """Outcome of one integrity-scrub pass (or heartbeat-driven slice).
+
+    ``corrupt == repaired`` is the healthy end state of a chaos drill:
+    every mismatch the scrubber caught was rebuilt from parity or a
+    surviving replica.  ``unrepaired`` items were *detected* but had no
+    healthy source; the stored copy is left in place (a transient
+    read-side fault must not destroy data that may still be good).
+    """
+
+    chunks_scanned: int = 0
+    bytes_verified: int = 0
+    corrupt: int = 0
+    repaired: int = 0
+    unrepaired: int = 0
+
+    @property
+    def healthy(self) -> bool:
+        return self.unrepaired == 0
+
+
+@dataclass
 class ClusterStats:
     """Cluster-level health and degraded-path counters."""
 
@@ -127,6 +173,16 @@ class ClusterStats:
     repair_chunks_recopied: int = 0
     repair_unrecoverable: int = 0
     heartbeats: int = 0
+    #: Erasure-coded reads that had to decode through parity (a data
+    #: fragment was dead, missing, or failed its digest).
+    ec_parity_decodes: int = 0
+    #: Background integrity scrub: items re-digested, mismatches caught,
+    #: mismatches rebuilt (from parity or a surviving replica), and
+    #: mismatches left in place because no healthy source survived.
+    scrub_chunks: int = 0
+    scrub_corrupt: int = 0
+    scrub_repaired: int = 0
+    scrub_unrepaired: int = 0
 
 
 class ChunkStoreCluster:
@@ -147,12 +203,28 @@ class ChunkStoreCluster:
         fault_plan: FaultPlan | str | None = "env",
         health: HealthPolicy | None = None,
         verify_reads: bool | None = None,
+        read_attempts: int | None = None,
+        put_attempts: int | None = None,
     ) -> None:
         if n_nodes < 1:
             raise ValueError("n_nodes must be >= 1")
+        if read_attempts is not None and read_attempts < 1:
+            raise ValueError("read_attempts must be >= 1")
+        if put_attempts is not None and put_attempts < 1:
+            raise ValueError("put_attempts must be >= 1")
+        self.read_attempts = (
+            self.READ_ATTEMPTS if read_attempts is None else read_attempts
+        )
+        self.put_attempts = (
+            self.PUT_ATTEMPTS if put_attempts is None else put_attempts
+        )
         self.backend_kind = resolve_backend(backend, data_dir)
         self.data_dir = Path(data_dir) if data_dir is not None else None
         self.scheme = scheme or ReplicatedPlacement(min(2, n_nodes))
+        self._ec = bool(getattr(self.scheme, "is_erasure", False))
+        self._codec = (
+            codec_for(self.scheme.k, self.scheme.m) if self._ec else None
+        )
         self.ring = HashRing(vnodes=vnodes)
         self._nodes: dict[str, StoreNode] = {}
         self._bloom_capacity = bloom_capacity
@@ -174,6 +246,9 @@ class ChunkStoreCluster:
         self.stats = ClusterStats()
         self._repairing = False
         self._repair_pending = False
+        #: Rolling scrub position: (node_id, digest) pairs still owed a
+        #: verification in the current pass; refilled when exhausted.
+        self._scrub_cursor: list[tuple[str, bytes]] = []
         self._recipes = RecipeStore(self._make_backend("recipes"))
         self._closed = False
         for i in range(n_nodes):
@@ -201,6 +276,16 @@ class ChunkStoreCluster:
             self.stats.nodes_suspected += 1
         elif transition is NodeState.DEAD:
             self._declare_dead(node_id)
+
+    def _note_detected(self) -> None:
+        """Corruption caught by digest verification (read path or scrub).
+
+        Feeds ``faults.bit_flips_detected``, so a chaos run's /metrics
+        distinguishes injected flips that were *caught* from silent
+        ones — the scrub loop's whole reason to exist.
+        """
+        if self.fault_plan is not None:
+            self.fault_plan.stats.add("bit_flips_detected")
 
     def _declare_dead(self, node_id: str) -> None:
         """The detector gave up on a node: treat it as crashed."""
@@ -254,6 +339,11 @@ class ChunkStoreCluster:
                 self._note(node.node_id, False)
             else:
                 self._note(node.node_id, True)
+        if self.health.scrub_batch:
+            # Background integrity: each heartbeat advances the rolling
+            # scrub cursor by a bounded slice, so corruption is found in
+            # steady state without a stop-the-world verification pass.
+            self.scrub(limit=self.health.scrub_batch)
         return {nid: self.detector.state(nid) for nid in self._nodes}
 
     def health_snapshot(self) -> dict:
@@ -267,7 +357,11 @@ class ChunkStoreCluster:
             "nodes_total": len(self._nodes),
             "nodes_alive": len(self._alive_nodes()),
             "verify_reads": self.verify_reads,
+            "scheme": self.scheme.name,
         }
+        if self._ec:
+            doc["ec_k"] = self.scheme.k
+            doc["ec_m"] = self.scheme.m
         doc.update(asdict(self.stats))
         return doc
 
@@ -317,8 +411,12 @@ class ChunkStoreCluster:
         data loss.  The pass is retried while it reports failures —
         ``None`` without a failure means no replica holds the chunk.
         """
-        for _attempt in range(self.READ_ATTEMPTS):
-            data, failures = self._read_any_once(digest)
+        for _attempt in range(self.read_attempts):
+            data, failures = (
+                self._read_ec_once(digest)
+                if self._ec
+                else self._read_any_once(digest)
+            )
             if data is not None:
                 return data
             if not failures:
@@ -357,6 +455,7 @@ class ChunkStoreCluster:
             self._note(node.node_id, True)
             if self.verify_reads and _chunk_hash(data) != digest:
                 self.stats.corrupt_reads += 1
+                self._note_detected()
                 node.stats.degraded_reads += 1
                 failures += 1
                 continue
@@ -365,16 +464,127 @@ class ChunkStoreCluster:
             return data, failures
         return None, failures
 
+    # -- erasure-coded data path ---------------------------------------
+
+    def _ec_read_order(self, digest: bytes) -> list[StoreNode]:
+        """Fragment-read candidate order: cheapest/healthiest first.
+
+        Healthy data-position holders lead (the all-healthy read is then
+        pure concatenation), healthy parity positions next, suspects
+        after their peers, and finally off-placement alive nodes (a
+        fragment can survive off-placement mid-repair/decommission).
+        """
+        placed = self._placement(digest)
+        k = self.scheme.k
+
+        def suspicion(node: StoreNode) -> int:
+            return 0 if self.detector.state(node.node_id) is NodeState.ALIVE else 1
+
+        data = sorted(placed[:k], key=suspicion)
+        parity = sorted(placed[k:], key=suspicion)
+        rest = [n for n in self._alive_nodes() if n not in placed]
+        return data + parity + rest
+
+    def _gather_fragments(
+        self,
+        digest: bytes,
+        need: int | None = None,
+        exclude: set[str] | None = None,
+    ) -> tuple[dict[int, bytes], int | None, dict[str, int | None], int]:
+        """Collect verified fragments of ``digest`` from alive nodes.
+
+        Stops once ``need`` distinct fragment indices are in hand
+        (``None`` = walk every candidate, for repair/rebalance which
+        must see who holds what).  Returns ``(fragments, chunk_len,
+        held, failures)`` where ``held`` maps node_id -> fragment index
+        for every holder (``None`` for a holder whose record was
+        corrupt, unparseable, or from a different geometry).
+        """
+        codec = self._codec
+        fragments: dict[int, bytes] = {}
+        held: dict[str, int | None] = {}
+        chunk_len: int | None = None
+        failures = 0
+        for node in self._ec_read_order(digest):
+            if exclude is not None and node.node_id in exclude:
+                continue
+            if need is not None and len(fragments) >= need:
+                break
+            try:
+                if not node.holds(digest):
+                    continue
+                record = node.get_fragment(digest)
+            except NodeDownError:
+                continue
+            except KeyError:
+                failures += 1  # holds() raced a delete; not a health signal
+                continue
+            except (FragmentFormatError, CorruptFragmentError):
+                # The node answered, but its fragment fails verification:
+                # detected corruption, not a liveness signal.
+                self.stats.corrupt_reads += 1
+                node.stats.degraded_reads += 1
+                self._note_detected()
+                self._note(node.node_id, True)
+                held[node.node_id] = None
+                failures += 1
+                continue
+            except OSError:
+                node.stats.io_errors += 1
+                node.stats.degraded_reads += 1
+                self._note(node.node_id, False)
+                failures += 1
+                continue
+            self._note(node.node_id, True)
+            if record.k != codec.k or record.m != codec.m:
+                held[node.node_id] = None  # stale geometry; unusable
+                failures += 1
+                continue
+            held[node.node_id] = record.index
+            if record.index not in fragments:
+                fragments[record.index] = record.payload
+                chunk_len = record.chunk_len
+        return fragments, chunk_len, held, failures
+
+    def _read_ec_once(self, digest: bytes) -> tuple[bytes | None, int]:
+        """One erasure-coded read pass: any ``k`` verified fragments.
+
+        Mirrors ``_read_any_once``'s contract — payload or ``None``,
+        plus the failure count that decides whether a retry can help.
+        """
+        codec = self._codec
+        fragments, chunk_len, _held, failures = self._gather_fragments(
+            digest, need=codec.k
+        )
+        if len(fragments) < codec.k or chunk_len is None:
+            return None, failures
+        parity_decode = not all(i in fragments for i in range(codec.k))
+        data = codec.decode(fragments, chunk_len)
+        if self.verify_reads and _chunk_hash(data) != digest:
+            # Fragments verified individually but the assembly does not
+            # hash: a stale/mixed fragment set.  Fail the pass; retry
+            # may draw a consistent set.
+            self.stats.corrupt_reads += 1
+            self._note_detected()
+            return None, failures + 1
+        if parity_decode:
+            self.stats.ec_parity_decodes += 1
+        if failures or parity_decode:
+            self.stats.degraded_reads += 1
+        return data, failures
+
     # -- ChunkStore-compatible surface ---------------------------------
 
-    #: Write attempts per placement target before the error propagates.
+    #: Default write attempts per placement target before the error
+    #: propagates (constructor ``put_attempts`` overrides per cluster).
     #: One retry absorbs transient I/O blips locally (the common chaos
     #: case) while a persistently sick target still errors out fast and
     #: keeps feeding the failure detector on every attempt.
     PUT_ATTEMPTS = 2
-    #: Full read passes over the replica set before a chunk is declared
-    #: missing; only passes that saw at least one replica *fail* (not
-    #: merely lack the chunk) are retried.
+    #: Default full read passes over the replica set before a chunk is
+    #: declared missing (constructor ``read_attempts`` overrides); only
+    #: passes that saw at least one replica *fail* (not merely lack the
+    #: chunk) are retried.
     READ_ATTEMPTS = 3
 
     def _put_one(self, node, digest: bytes, data: bytes) -> bool:
@@ -384,7 +594,7 @@ class ChunkStoreCluster:
         ring member after exhausting its attempts — a node the failed
         writes killed has left the replica set and is not owed a copy.
         """
-        for attempt in range(self.PUT_ATTEMPTS):
+        for attempt in range(self.put_attempts):
             try:
                 node.put_chunk(digest, data)
             except NodeDownError:
@@ -392,7 +602,32 @@ class ChunkStoreCluster:
             except OSError as exc:
                 node.stats.io_errors += 1
                 self._note(node.node_id, False)
-                if attempt + 1 < self.PUT_ATTEMPTS:
+                if attempt + 1 < self.put_attempts:
+                    continue
+                if node.alive:
+                    raise
+                return False
+            else:
+                self._note(node.node_id, True)
+                return True
+        return False
+
+    def _put_fragment_one(
+        self, node, digest: bytes, index: int, chunk_len: int, payload: bytes
+    ) -> bool:
+        """``_put_one`` for a framed fragment: same retry/death contract."""
+        codec = self._codec
+        for attempt in range(self.put_attempts):
+            try:
+                node.put_fragment(
+                    digest, index, codec.k, codec.m, chunk_len, payload
+                )
+            except NodeDownError:
+                return False
+            except OSError as exc:
+                node.stats.io_errors += 1
+                self._note(node.node_id, False)
+                if attempt + 1 < self.put_attempts:
                     continue
                 if node.alive:
                     raise
@@ -411,6 +646,8 @@ class ChunkStoreCluster:
         Copies that did land make the caller's retry a cheap
         content-addressed no-op.
         """
+        if self._ec:
+            return self._put_chunk_ec(digest, data)
         known = self._holder(digest) is not None
         targets = self._placement(digest)
         if not targets:
@@ -433,8 +670,60 @@ class ChunkStoreCluster:
             return self.put_chunk(digest, data)
         return not known
 
+    def _put_chunk_ec(self, digest: bytes, data: bytes) -> bool:
+        """Erasure-coded put: fragment ``i`` to preference position ``i``.
+
+        Same strict-ack contract as the replicated path, with the EC
+        twist that an acked chunk needs at least ``k`` fragments landed
+        (fewer cannot reconstruct — a partial set that acked would be
+        silent data loss on the first degraded read).
+        """
+        codec = self._codec
+        known = self.has_chunk(digest)
+        targets = self._placement(digest)
+        if len(targets) < codec.k:
+            raise NodeDownError(
+                f"only {len(targets)} alive placement targets for "
+                f"ec({codec.k}+{codec.m}) chunk {digest.hex()[:16]}"
+            )
+        fragments = codec.encode(data)
+        last_error: OSError | None = None
+        stored = 0
+        for position, node in enumerate(targets):
+            try:
+                if self._node_holds(node, digest):
+                    stored += 1  # content-addressed: fragment already there
+                    continue
+                if self._put_fragment_one(
+                    node, digest, position, len(data), fragments[position]
+                ):
+                    stored += 1
+            except OSError as exc:
+                last_error = exc
+        if last_error is not None:
+            raise last_error
+        if stored < codec.k and not known:
+            # Too many targets died mid-put to reconstruct: re-place on
+            # the shrunken ring (bounded by node count).
+            return self.put_chunk(digest, data)
+        return not known
+
     def has_chunk(self, digest: bytes) -> bool:
+        if self._ec:
+            return self._fragment_holders(digest) >= self.scheme.k
         return self._holder(digest) is not None
+
+    def _fragment_holders(self, digest: bytes) -> int:
+        """Alive nodes holding a fragment of ``digest`` (early exit at
+        ``k`` — presence needs reconstructability, not a full census)."""
+        need = self.scheme.k
+        count = 0
+        for node in self._ec_read_order(digest):
+            if self._node_holds(node, digest):
+                count += 1
+                if count >= need:
+                    break
+        return count
 
     def put_chunks(self, items) -> list[bool]:
         """Store a batch of ``(digest, data)``; placement is per digest,
@@ -483,7 +772,7 @@ class ChunkStoreCluster:
 
     def has_chunks(self, digests) -> list[bool]:
         """Batched membership straight through replica resolution."""
-        return [self._holder(d) is not None for d in digests]
+        return [self.has_chunk(d) for d in digests]
 
     def restore(self, snapshot_id: str) -> bytes:
         """Reassemble a snapshot, pulling each chunk from any replica."""
@@ -503,6 +792,180 @@ class ChunkStoreCluster:
         """
         live = self._recipes.live_digests()
         return sum(node.sweep(live) for node in self._alive_nodes())
+
+    # -- background integrity scrub ------------------------------------
+
+    def scrub(self, limit: int | None = None) -> ScrubReport:
+        """Re-verify stored payloads/fragments; heal what fails.
+
+        ``limit=None`` runs one full pass over everything currently
+        stored (the ``python -m repro scrub`` / drill entry point);
+        ``limit=N`` advances a rolling cursor by at most ``N`` items
+        (the heartbeat's bounded slice — a full pass eventually
+        completes across heartbeats, then starts over).
+
+        Every item is re-read and re-digested.  A mismatch is counted
+        (``scrub_corrupt``) and healed by rebuilding from parity (EC) or
+        a surviving replica — but the suspect copy is only replaced
+        *after* a successful rebuild: under transient read-side faults
+        (``backend.bit_flip`` flips the bytes served, not the bytes
+        stored) deleting first would turn detected corruption into real
+        data loss.
+        """
+        report = ScrubReport()
+        if limit is None:
+            for node_id, digest in self._scrub_queue_snapshot():
+                self._scrub_one(node_id, digest, report)
+            return report
+        refilled = False
+        scanned = 0
+        while scanned < limit:
+            if not self._scrub_cursor:
+                if refilled:
+                    break  # an empty cluster refills empty; don't spin
+                self._scrub_cursor = self._scrub_queue_snapshot()
+                self._scrub_cursor.reverse()  # pop() walks in order
+                refilled = True
+                if not self._scrub_cursor:
+                    break
+            node_id, digest = self._scrub_cursor.pop()
+            self._scrub_one(node_id, digest, report)
+            scanned += 1
+        return report
+
+    def _scrub_queue_snapshot(self) -> list[tuple[str, bytes]]:
+        """Every (node, digest) pair owed a verification, in stable order."""
+        queue: list[tuple[str, bytes]] = []
+        for node_id in sorted(self._nodes):
+            node = self._nodes[node_id]
+            if not node.alive:
+                continue
+            try:
+                digests = sorted(node.digests())
+            except (NodeDownError, OSError):
+                continue
+            queue.extend((node_id, digest) for digest in digests)
+        return queue
+
+    def _scrub_one(
+        self, node_id: str, digest: bytes, report: ScrubReport
+    ) -> None:
+        """Verify one stored item; quarantine-and-heal on mismatch."""
+        node = self._nodes.get(node_id)
+        if node is None or not node.alive:
+            return
+        try:
+            raw = node.get_chunk(digest)
+        except (NodeDownError, KeyError):
+            return  # gone (death, GC, repair moved it): nothing to verify
+        except OSError:
+            node.stats.io_errors += 1
+            self._note(node.node_id, False)
+            return
+        self._note(node.node_id, True)
+        report.chunks_scanned += 1
+        report.bytes_verified += len(raw)
+        self.stats.scrub_chunks += 1
+        if self._ec:
+            try:
+                unpack_fragment(raw)
+                return  # parsed and digest-verified: healthy
+            except (FragmentFormatError, CorruptFragmentError):
+                pass
+        elif _chunk_hash(raw) == digest:
+            return
+        report.corrupt += 1
+        self.stats.scrub_corrupt += 1
+        self._note_detected()
+        if self._scrub_heal(node, digest):
+            report.repaired += 1
+            self.stats.scrub_repaired += 1
+        else:
+            report.unrepaired += 1
+            self.stats.scrub_unrepaired += 1
+
+    def _scrub_heal(self, node: StoreNode, digest: bytes) -> bool:
+        """Replace one failed-verification item from a healthy source.
+
+        Rebuild first, replace after — if no healthy source survives,
+        the suspect copy stays put (it may itself be a transient
+        read-side fault, and even a genuinely rotten fragment can still
+        help a later decode if enough of it is intact... but a verified
+        rebuild always supersedes it).
+        """
+        if self._ec:
+            codec = self._codec
+            targets = self._placement(digest)
+            position = next(
+                (p for p, n in enumerate(targets) if n is node), None
+            )
+            if position is None:
+                # Off-placement stray that fails verification: dropping
+                # it *is* the heal — placement holds the real set.
+                try:
+                    node.delete_chunk(digest)
+                except (NodeDownError, OSError):
+                    return False
+                return True
+            fragments: dict[int, bytes] = {}
+            chunk_len: int | None = None
+            for _attempt in range(self.read_attempts):
+                fragments, chunk_len, _held, failures = self._gather_fragments(
+                    digest, need=codec.k, exclude={node.node_id}
+                )
+                if len(fragments) >= codec.k or not failures:
+                    break
+            if len(fragments) < codec.k or chunk_len is None:
+                return False
+            payload = codec.rebuild(fragments, [position])[position]
+            try:
+                node.delete_chunk(digest)
+                return self._put_fragment_one(
+                    node, digest, position, chunk_len, payload
+                )
+            except (NodeDownError, OSError):
+                return False
+        data = self._read_verified_excluding(digest, {node.node_id})
+        if data is None:
+            return False
+        try:
+            node.delete_chunk(digest)
+            return self._put_one(node, digest, data)
+        except (NodeDownError, OSError):
+            return False
+
+    def _read_verified_excluding(
+        self, digest: bytes, exclude: set[str]
+    ) -> bytes | None:
+        """A digest-verified whole-chunk copy from any other replica.
+
+        Verification is unconditional here (unlike the data path's
+        ``verify_reads`` gate): the scrubber must never heal from an
+        unverified source.
+        """
+        for _attempt in range(self.read_attempts):
+            failures = 0
+            for candidate in self._alive_nodes():
+                if candidate.node_id in exclude:
+                    continue
+                try:
+                    if not candidate.holds(digest):
+                        continue
+                    data = candidate.get_chunk(digest)
+                except (NodeDownError, KeyError):
+                    continue
+                except OSError:
+                    candidate.stats.io_errors += 1
+                    self._note(candidate.node_id, False)
+                    failures += 1
+                    continue
+                self._note(candidate.node_id, True)
+                if _chunk_hash(data) == digest:
+                    return data
+                failures += 1
+            if not failures:
+                break
+        return None
 
     # -- batched lookup ------------------------------------------------
 
@@ -564,6 +1027,24 @@ class ChunkStoreCluster:
         self.ring.remove_node(node_id)
         self.scheme.validate(self.ring)
         report = MigrationReport()
+        if self._ec:
+            # A retiring node's lone fragment per chunk cannot re-derive
+            # the other indices by itself, so EC drains via the fragment
+            # repair path: the node is off-ring but still alive, so the
+            # gather reads it as an off-placement source while each new
+            # target gets exactly its own fragment rebuilt.
+            affected = node.digests()
+            repair_report = RepairReport(chunks_scanned=len(affected))
+            self._repairing = True
+            try:
+                self._repair_digests_ec(affected, repair_report)
+            finally:
+                self._repairing = False
+            report.chunks_moved = repair_report.chunks_recopied
+            report.bytes_moved = repair_report.bytes_copied
+            report.chunks_dropped = len(affected)
+            node.fail()
+            return report
         for digest in node.digests():
             data = node.get_chunk(digest)
             for target in self._placement(digest):
@@ -598,8 +1079,11 @@ class ChunkStoreCluster:
 
         Copies from any surviving replica to targets that lack it,
         accumulating work into ``report``; returns the digests with no
-        surviving replica at all.
+        surviving replica at all.  (Erasure-coded clusters rebuild
+        fragments instead — see :meth:`_repair_digests_ec`.)
         """
+        if self._ec:
+            return self._repair_digests_ec(digests, report)
         lost: list[bytes] = []
         for digest in digests:
             data = self._read_any(digest)
@@ -624,13 +1108,107 @@ class ChunkStoreCluster:
                 report.bytes_copied += len(data)
         return lost
 
+    def _ec_assignments(
+        self,
+        targets: list[StoreNode],
+        held: dict[str, int | None],
+    ) -> list[tuple[StoreNode, int, bool]]:
+        """Plan fragment writes so the targets cover distinct indices.
+
+        A valid fragment is fine *wherever* it sits in the target set —
+        rewriting every fragment whose preference position shifted after
+        ring churn would ship more bytes than whole-chunk repair.  Only
+        targets holding nothing usable (no record, a corrupt/stale one,
+        or a duplicate of an index another target covers) are assigned a
+        *missing* index, preferring their own position's index.  Returns
+        ``(node, index, had_record)`` write orders.
+        """
+        codec = self._codec
+        covered: set[int] = set()
+        needy: list[tuple[int, StoreNode]] = []
+        for position, node in enumerate(targets):
+            index = held.get(node.node_id)
+            if index is not None and index not in covered:
+                covered.add(index)
+            else:
+                needy.append((position, node))
+        missing = [i for i in range(codec.n) if i not in covered]
+        orders: list[tuple[StoreNode, int, bool]] = []
+        for position, node in needy:
+            if not missing:
+                break
+            if position in missing:
+                index = position  # position's own index, when available
+                missing.remove(position)
+            else:
+                index = missing.pop(0)
+            orders.append((node, index, node.node_id in held))
+        return orders
+
+    def _repair_digests_ec(self, digests, report: RepairReport) -> list[bytes]:
+        """Fragment repair: rebuild only the *missing* fragment indices.
+
+        For each digest, gather any ``k`` verified fragments, work out
+        which of the ``k + m`` indices the placement targets no longer
+        cover, and ship each uncovered target exactly one rebuilt
+        fragment — never the whole chunk.  ``bytes_copied`` therefore
+        counts fragment payloads, the whole point of erasure-coded
+        repair traffic.  Digests with fewer than ``k`` surviving
+        fragments anywhere are unrecoverable.
+        """
+        codec = self._codec
+        lost: list[bytes] = []
+        for digest in digests:
+            fragments: dict[int, bytes] = {}
+            chunk_len: int | None = None
+            held: dict[str, int | None] = {}
+            for _attempt in range(self.read_attempts):
+                fragments, chunk_len, held, failures = self._gather_fragments(
+                    digest
+                )
+                if len(fragments) >= codec.k or not failures:
+                    break
+            if len(fragments) < codec.k or chunk_len is None:
+                lost.append(digest)
+                continue
+            orders = self._ec_assignments(self._placement(digest), held)
+            if not orders:
+                continue
+            rebuilt = codec.rebuild(fragments, [i for _, i, _ in orders])
+            for node, index, had_record in orders:
+                payload = rebuilt[index]
+                try:
+                    if had_record:
+                        # Corrupt/stale/duplicate record under this key:
+                        # replace, don't accrete.
+                        node.delete_chunk(digest)
+                    if self._put_fragment_one(
+                        node, digest, index, chunk_len, payload
+                    ):
+                        report.chunks_recopied += 1
+                        report.bytes_copied += len(payload)
+                except NodeDownError:
+                    continue
+                except OSError:
+                    # Fragment lost to a fault: the placement stays
+                    # short this pass; the next repair pass rebuilds it.
+                    node.stats.io_errors += 1
+                    self._note(node.node_id, False)
+                    continue
+        return lost
+
     def rebalance(self) -> MigrationReport:
         """Move chunks to their current placement after a ring resize.
 
         Copies each chunk to placement targets missing it and drops
-        copies from nodes the scheme no longer targets.
+        copies from nodes the scheme no longer targets.  Erasure-coded
+        clusters move *fragments*: each target gets the fragment its
+        preference-list position calls for, rebuilt from any ``k``
+        survivors.
         """
         report = MigrationReport()
+        if self._ec:
+            return self._rebalance_ec(report)
         for digest in self.digests():
             targets = self._placement(digest)
             data = self._read_any(digest)
@@ -642,6 +1220,37 @@ class ChunkStoreCluster:
                     report.bytes_moved += len(data)
             for node in self._alive_nodes():
                 if node not in targets and node.holds(digest):
+                    node.delete_chunk(digest)
+                    report.chunks_dropped += 1
+        return report
+
+    def _rebalance_ec(self, report: MigrationReport) -> MigrationReport:
+        codec = self._codec
+        for digest in self.digests():
+            fragments, chunk_len, held, _failures = self._gather_fragments(
+                digest
+            )
+            if len(fragments) < codec.k or chunk_len is None:
+                continue  # short on survivors; repair() owns recovery
+            targets = self._placement(digest)
+            orders = self._ec_assignments(targets, held)
+            if orders:
+                rebuilt = codec.rebuild(fragments, [i for _, i, _ in orders])
+                for node, index, had_record in orders:
+                    payload = rebuilt[index]
+                    try:
+                        if had_record:
+                            node.delete_chunk(digest)
+                        if self._put_fragment_one(
+                            node, digest, index, chunk_len, payload
+                        ):
+                            report.chunks_moved += 1
+                            report.bytes_moved += len(payload)
+                    except (NodeDownError, OSError):
+                        continue
+            target_ids = {node.node_id for node in targets}
+            for node in self._alive_nodes():
+                if node.node_id not in target_ids and node.holds(digest):
                     node.delete_chunk(digest)
                     report.chunks_dropped += 1
         return report

@@ -1,0 +1,311 @@
+"""Systematic Reed–Solomon erasure coding over GF(2^8), pure NumPy.
+
+The cluster's fourth placement scheme stores each chunk as ``k`` data
+fragments plus ``m`` parity fragments on ``k + m`` distinct ring nodes
+(:class:`~repro.store.schemes.ErasureCodedPlacement`).  This module is
+the codec underneath it:
+
+* **Systematic layout** — the ``k`` data fragments are plain slices of
+  the chunk (zero-padded to ``k`` equal pieces), so the common
+  all-healthy read path is concatenation, never a matrix solve.
+* **Cauchy parity** — the ``m`` parity rows come from a Cauchy matrix,
+  so the full ``(k+m) x k`` encode matrix has every ``k x k`` submatrix
+  invertible: *any* ``k`` of the ``k+m`` fragments reconstruct the
+  chunk (the MDS property), and any lost fragment can be rebuilt from
+  any ``k`` survivors without materializing the others.
+* **Pure NumPy arithmetic** — GF(2^8) multiplication is one gather from
+  a precomputed 256x256 product table (``GF_MUL[c][vec]``), so encode
+  and decode cost ``k*m`` / ``k*k`` vectorized passes over fragment-
+  sized arrays; no per-byte Python.
+
+Fragments travel framed (:func:`pack_fragment` / :func:`unpack_fragment`):
+a fixed header carries the fragment index, the ``(k, m)`` geometry, the
+original chunk length (padding is trimmed on decode), and a
+collision-resistant digest of the fragment payload.  ``unpack_fragment``
+re-digests on every read, so a silently corrupted fragment — bit rot, or
+an injected ``backend.bit_flip`` — raises
+:class:`CorruptFragmentError` instead of feeding garbage into a decode.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "CorruptFragmentError",
+    "FragmentFormatError",
+    "FragmentRecord",
+    "ReedSolomonCodec",
+    "codec_for",
+    "pack_fragment",
+    "unpack_fragment",
+    "FRAGMENT_HEADER_SIZE",
+]
+
+#: The AES / QR-code field polynomial x^8 + x^4 + x^3 + x^2 + 1.
+_PRIMITIVE_POLY = 0x11D
+
+# -- field tables (module-level, built once) ---------------------------
+
+
+def _build_tables() -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    exp = np.zeros(512, dtype=np.uint8)
+    log = np.zeros(256, dtype=np.int32)
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        x <<= 1
+        if x & 0x100:
+            x ^= _PRIMITIVE_POLY
+    exp[255:510] = exp[:255]
+    # Full product table: one gather replaces log/exp round trips on
+    # the hot encode/decode path (64 KiB, shared by every codec).
+    mul = np.zeros((256, 256), dtype=np.uint8)
+    nz = np.arange(1, 256)
+    mul[1:, 1:] = exp[log[nz][:, None] + log[nz][None, :]]
+    return exp, log, mul
+
+
+GF_EXP, GF_LOG, GF_MUL = _build_tables()
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Scalar GF(2^8) product."""
+    return int(GF_MUL[a, b])
+
+
+def gf_inv(a: int) -> int:
+    """Scalar GF(2^8) multiplicative inverse (``a`` must be nonzero)."""
+    if a == 0:
+        raise ZeroDivisionError("GF(2^8) zero has no inverse")
+    return int(GF_EXP[255 - int(GF_LOG[a])])
+
+
+def _matrix_invert(rows: Sequence[Sequence[int]]) -> list[list[int]]:
+    """Gauss–Jordan inverse of a small GF(2^8) matrix (k x k)."""
+    k = len(rows)
+    aug = [list(row) + [1 if i == j else 0 for j in range(k)]
+           for i, row in enumerate(rows)]
+    for col in range(k):
+        pivot = next((r for r in range(col, k) if aug[r][col]), None)
+        if pivot is None:  # cannot happen for an MDS submatrix
+            raise ValueError("singular fragment matrix (duplicate indices?)")
+        aug[col], aug[pivot] = aug[pivot], aug[col]
+        scale = gf_inv(aug[col][col])
+        aug[col] = [gf_mul(scale, v) for v in aug[col]]
+        for r in range(k):
+            if r == col or not aug[r][col]:
+                continue
+            factor = aug[r][col]
+            aug[r] = [v ^ gf_mul(factor, p) for v, p in zip(aug[r], aug[col])]
+    return [row[k:] for row in aug]
+
+
+# -- fragment framing --------------------------------------------------
+
+#: ``magic | index | k | m | pad | chunk_len | payload_digest``
+_HEADER = struct.Struct("!4sBBBxQ32s")
+_MAGIC = b"ECF1"
+FRAGMENT_HEADER_SIZE = _HEADER.size
+
+
+class FragmentFormatError(ValueError):
+    """Stored bytes are not a parseable fragment record."""
+
+
+class CorruptFragmentError(ValueError):
+    """A fragment payload no longer hashes to its stored digest."""
+
+
+@dataclass(frozen=True)
+class FragmentRecord:
+    """One decoded fragment: geometry, position, and verified payload."""
+
+    index: int
+    k: int
+    m: int
+    chunk_len: int
+    payload: bytes
+
+    @property
+    def is_parity(self) -> bool:
+        return self.index >= self.k
+
+
+def _payload_digest(payload) -> bytes:
+    # Lazy import: keeps repro.store import-clean of repro.core (same
+    # layering discipline as the cluster's verification hash).
+    from repro.core.hashing import chunk_hash
+
+    return chunk_hash(payload)
+
+
+def pack_fragment(
+    index: int, k: int, m: int, chunk_len: int, payload: bytes
+) -> bytes:
+    """Frame a fragment payload with geometry and its own digest."""
+    header = _HEADER.pack(
+        _MAGIC, index, k, m, chunk_len, _payload_digest(payload)
+    )
+    return header + payload
+
+
+def unpack_fragment(blob: bytes) -> FragmentRecord:
+    """Parse and *verify* a fragment record.
+
+    Raises :class:`FragmentFormatError` when the bytes are not a
+    fragment record at all, and :class:`CorruptFragmentError` when the
+    payload no longer matches its stored digest (bit rot — the record
+    must not be trusted).
+    """
+    if len(blob) < _HEADER.size:
+        raise FragmentFormatError(
+            f"fragment record truncated ({len(blob)} B < header)"
+        )
+    magic, index, k, m, chunk_len, digest = _HEADER.unpack_from(blob)
+    if magic != _MAGIC:
+        raise FragmentFormatError(f"bad fragment magic {magic!r}")
+    payload = blob[_HEADER.size:]
+    if _payload_digest(payload) != digest:
+        raise CorruptFragmentError(
+            f"fragment {index} payload fails its digest "
+            f"({len(payload)} B)"
+        )
+    return FragmentRecord(index, k, m, chunk_len, payload)
+
+
+# -- the codec ---------------------------------------------------------
+
+
+class ReedSolomonCodec:
+    """Systematic ``(k, m)`` Reed–Solomon codec over GF(2^8).
+
+    ``encode`` yields ``k + m`` fragments: the first ``k`` are chunk
+    slices (zero-padded to equal length), the last ``m`` are Cauchy
+    parity.  ``decode`` reconstructs the chunk from any ``k`` fragments;
+    ``rebuild`` re-derives specific lost fragments from any ``k``
+    survivors.
+    """
+
+    def __init__(self, k: int, m: int) -> None:
+        if k < 1:
+            raise ValueError("k (data fragments) must be >= 1")
+        if m < 0:
+            raise ValueError("m (parity fragments) must be >= 0")
+        if k + m > 255:
+            raise ValueError("k + m must be <= 255 over GF(2^8)")
+        self.k = k
+        self.m = m
+        self.n = k + m
+        # Encode matrix: identity on top (systematic), Cauchy parity
+        # below.  Points x_i = k + i (parity rows) and y_j = j (data
+        # columns) are distinct and disjoint, so every square submatrix
+        # of the Cauchy block — and therefore every k x k submatrix of
+        # the full matrix — is invertible (the MDS property).
+        rows = [[1 if j == i else 0 for j in range(k)] for i in range(k)]
+        for i in range(m):
+            rows.append([gf_inv((k + i) ^ j) for j in range(k)])
+        self.matrix: tuple[tuple[int, ...], ...] = tuple(
+            tuple(row) for row in rows
+        )
+
+    def fragment_size(self, chunk_len: int) -> int:
+        """Payload bytes per fragment for a chunk of ``chunk_len``."""
+        return -(-chunk_len // self.k) if chunk_len else 0
+
+    # -- encode --------------------------------------------------------
+
+    def encode(self, data) -> list[bytes]:
+        """Split ``data`` into ``k`` slices + ``m`` parity fragments."""
+        buf = np.frombuffer(data, dtype=np.uint8)
+        size = self.fragment_size(buf.size)
+        padded = np.zeros(self.k * size, dtype=np.uint8)
+        padded[: buf.size] = buf
+        grid = padded.reshape(self.k, size)
+        fragments = [grid[j].tobytes() for j in range(self.k)]
+        for i in range(self.m):
+            row = self.matrix[self.k + i]
+            acc = np.zeros(size, dtype=np.uint8)
+            for j in range(self.k):
+                if row[j]:
+                    acc ^= GF_MUL[row[j]][grid[j]]
+            fragments.append(acc.tobytes())
+        return fragments
+
+    # -- decode --------------------------------------------------------
+
+    def _data_grid(self, fragments: Mapping[int, bytes]) -> np.ndarray:
+        """Reconstruct the ``k x f`` data grid from any k fragments."""
+        # Data fragments pass through; sorting puts them first, so the
+        # all-healthy path never pays for a solve.
+        indices = sorted(fragments)[: self.k]
+        if len(indices) < self.k:
+            raise ValueError(
+                f"need {self.k} fragments to decode, have {len(fragments)}"
+            )
+        if any(i < 0 or i >= self.n for i in indices):
+            raise ValueError(f"fragment index outside 0..{self.n - 1}")
+        size = len(fragments[indices[0]])
+        if any(len(fragments[i]) != size for i in indices):
+            raise ValueError("fragments differ in length")
+        if indices == list(range(self.k)):
+            return np.stack(
+                [np.frombuffer(fragments[i], dtype=np.uint8) for i in indices]
+            ) if size else np.zeros((self.k, 0), dtype=np.uint8)
+        sub = [self.matrix[i] for i in indices]
+        inverse = _matrix_invert(sub)
+        have = [np.frombuffer(fragments[i], dtype=np.uint8) for i in indices]
+        grid = np.zeros((self.k, size), dtype=np.uint8)
+        for r in range(self.k):
+            row = inverse[r]
+            for c in range(self.k):
+                if row[c] and size:
+                    grid[r] ^= GF_MUL[row[c]][have[c]]
+        return grid
+
+    def decode(self, fragments: Mapping[int, bytes], chunk_len: int) -> bytes:
+        """The original chunk from any ``k`` of the ``n`` fragments."""
+        grid = self._data_grid(fragments)
+        return grid.reshape(-1).tobytes()[:chunk_len]
+
+    def rebuild(
+        self, fragments: Mapping[int, bytes], targets: Sequence[int]
+    ) -> dict[int, bytes]:
+        """Re-derive specific fragments from any ``k`` survivors.
+
+        Repair traffic is the point: only the ``targets`` are
+        materialized and shipped, never the whole chunk.
+        """
+        grid = self._data_grid(fragments)
+        size = grid.shape[1]
+        out: dict[int, bytes] = {}
+        for t in targets:
+            if t < 0 or t >= self.n:
+                raise ValueError(f"fragment index {t} outside 0..{self.n - 1}")
+            if t < self.k:
+                out[t] = grid[t].tobytes()
+                continue
+            row = self.matrix[t]
+            acc = np.zeros(size, dtype=np.uint8)
+            for j in range(self.k):
+                if row[j] and size:
+                    acc ^= GF_MUL[row[j]][grid[j]]
+            out[t] = acc.tobytes()
+        return out
+
+
+_CODEC_CACHE: dict[tuple[int, int], ReedSolomonCodec] = {}
+
+
+def codec_for(k: int, m: int) -> ReedSolomonCodec:
+    """Shared codec instance per ``(k, m)`` (matrices are immutable)."""
+    key = (k, m)
+    codec = _CODEC_CACHE.get(key)
+    if codec is None:
+        codec = _CODEC_CACHE[key] = ReedSolomonCodec(k, m)
+    return codec

@@ -45,12 +45,18 @@ class HealthPolicy:
     dead_after: int = 4
     #: Re-replicate automatically the moment a death is declared.
     auto_repair: bool = True
+    #: Stored items the background scrubber re-verifies per heartbeat
+    #: (0 disables heartbeat-driven scrubbing; ``cluster.scrub()`` can
+    #: still run full passes on demand).
+    scrub_batch: int = 0
 
     def __post_init__(self) -> None:
         if self.suspect_after < 1:
             raise ValueError("suspect_after must be >= 1")
         if self.dead_after < self.suspect_after:
             raise ValueError("dead_after must be >= suspect_after")
+        if self.scrub_batch < 0:
+            raise ValueError("scrub_batch must be >= 0")
 
 
 class FailureDetector:

@@ -104,10 +104,12 @@ class BatchedLookup:
     """Routes digest batches to their owning nodes and probes them.
 
     Probing walks the placement scheme's preference list in order: a
-    digest is a *hit* as soon as any alive replica holds it, so a copy
-    that survives off-primary (post-failure, mid-repair) still answers.
-    A digest is a miss only after every alive replica's filter or index
-    said no.
+    digest is a *hit* as soon as ``scheme.min_fragments`` alive replicas
+    hold it — one for whole-chunk schemes (so a copy that survives
+    off-primary, post-failure or mid-repair, still answers), ``k`` for
+    erasure coding (fewer surviving fragments cannot reconstruct, so a
+    dedup hit on them would silently lose the chunk).  A digest is a
+    miss only after the quota provably cannot be met.
     """
 
     def __init__(
@@ -138,9 +140,12 @@ class BatchedLookup:
         placement: tuple[str, ...],
         stats: BatchLookupStats,
     ) -> bool:
-        """Probe the digest's replica set; True iff some replica has it."""
+        """Probe the digest's replica set; True iff enough replicas
+        (``scheme.min_fragments``) have it."""
+        need = getattr(self.scheme, "min_fragments", 1)
         probed = False
         saw_false_positive = False
+        node_hits = 0
         for node_id in placement:
             node = self.nodes.get(node_id)
             if node is None or not node.alive:
@@ -162,8 +167,11 @@ class BatchedLookup:
             if self.on_probe is not None:
                 self.on_probe(node_id, True)
             if result is ProbeResult.HIT:
-                stats.hits += 1
-                return True
+                node_hits += 1
+                if node_hits >= need:
+                    stats.hits += 1
+                    return True
+                continue  # fragment quota not met yet; keep probing
             if result is ProbeResult.FALSE_POSITIVE:
                 saw_false_positive = True
                 stats.index_walks += 1
@@ -171,7 +179,13 @@ class BatchedLookup:
             raise NodeDownError(
                 f"no alive replica for chunk {digest.hex()[:16]}"
             )
-        if saw_false_positive:
+        if node_hits:
+            # Some fragments exist but too few to reconstruct: the chunk
+            # must be re-shipped.  The partial holders paid index walks
+            # for a miss verdict, the same shape as a false positive.
+            stats.index_walks += node_hits
+            stats.false_positives += 1
+        elif saw_false_positive:
             stats.false_positives += 1
         else:
             stats.bloom_negatives += 1

@@ -24,6 +24,7 @@ from enum import Enum
 
 from repro.store.backend import ChunkBackend, make_backend
 from repro.store.bloom import BloomFilter
+from repro.store.erasure import FragmentRecord, pack_fragment, unpack_fragment
 
 __all__ = ["NodeDownError", "NodeStats", "ProbeResult", "StoreNode"]
 
@@ -152,6 +153,33 @@ class StoreNode:
                 f"chunk {digest.hex()[:16]} missing from node {self.node_id!r}"
             )
         return data
+
+    # -- erasure-coded fragments ---------------------------------------
+    #
+    # Under ErasureCodedPlacement a node's value for a chunk digest is
+    # one framed fragment record, not the chunk payload.  All membership
+    # machinery (Bloom filter, holds, probes, GC sweep, digests) works
+    # unchanged because the key is still the chunk digest — one fragment
+    # per chunk per node.
+
+    def put_fragment(
+        self, digest: bytes, index: int, k: int, m: int,
+        chunk_len: int, payload: bytes,
+    ) -> bool:
+        """Store one framed fragment of ``digest`` (False if present)."""
+        return self.put_chunk(
+            digest, pack_fragment(index, k, m, chunk_len, payload)
+        )
+
+    def get_fragment(self, digest: bytes) -> FragmentRecord:
+        """Read, parse, and *verify* this node's fragment of ``digest``.
+
+        Raises ``KeyError`` when absent, ``FragmentFormatError`` when
+        the stored bytes are not a fragment record, and
+        ``CorruptFragmentError`` when the payload fails its digest —
+        every fragment read is an integrity check.
+        """
+        return unpack_fragment(self.get_chunk(digest))
 
     def ping(self) -> None:
         """Heartbeat: a minimal backend round trip, no stats charged.

@@ -8,7 +8,11 @@ that must hold the chunk — and each concrete scheme is one policy:
 * :class:`StripedPlacement` — one copy striped across a window of the
   preference list, spreading hot digest ranges over several nodes;
 * :class:`ReplicatedPlacement` — ``r`` copies on the first ``r``
-  distinct successors, the scheme that survives node loss.
+  distinct successors, the scheme that survives node loss;
+* :class:`ErasureCodedPlacement` — ``k + m`` Reed–Solomon *fragments*
+  (``k`` data slices + ``m`` parity) on the first ``k + m`` distinct
+  successors: reads and repair need any ``k`` of them, so ``m`` node
+  losses cost ``m/k`` extra storage instead of whole replicas.
 
 Schemes are deterministic functions of (ring membership, digest), so
 every component — writer, batched lookup, repair — independently
@@ -24,6 +28,7 @@ __all__ = [
     "VanillaPlacement",
     "StripedPlacement",
     "ReplicatedPlacement",
+    "ErasureCodedPlacement",
     "make_scheme",
 ]
 
@@ -35,6 +40,14 @@ class PlacementScheme:
     name: str = "base"
     #: Copies kept per chunk; failure tolerance is ``copies - 1``.
     copies: int = 1
+    #: True when nodes hold erasure-coded fragments instead of whole
+    #: chunks — the cluster routes reads/writes/repair accordingly.
+    is_erasure: bool = False
+    #: Replicas (or fragments) that must answer before a digest counts
+    #: as present: 1 for whole-chunk schemes, ``k`` for erasure coding
+    #: (fewer than ``k`` surviving fragments cannot reconstruct, so a
+    #: dedup hit on them would silently lose data).
+    min_fragments: int = 1
 
     def nodes_for(self, ring: HashRing, digest: bytes) -> tuple[str, ...]:
         """Distinct node ids that must hold ``digest``."""
@@ -103,7 +116,52 @@ class ReplicatedPlacement(PlacementScheme):
         return ring.preference_list(digest, min(self.replicas, len(ring)))
 
 
-def make_scheme(name: str, replicas: int = 2, stripe_width: int = 4) -> PlacementScheme:
+class ErasureCodedPlacement(PlacementScheme):
+    """``k`` data + ``m`` parity fragments on ``k + m`` distinct nodes.
+
+    Fragment ``i`` of a chunk lands on position ``i`` of the digest's
+    preference list (position *is* the intended fragment index; the
+    stored record also carries its index, so reads survive ring churn).
+    Any ``k`` fragments reconstruct the chunk, so the scheme tolerates
+    ``m`` node losses at ``(k + m) / k`` storage overhead — e.g. 1.5x
+    for (4, 2) where 3-way replication pays 3x for the same tolerance.
+    """
+
+    name = "ec"
+    is_erasure = True
+
+    def __init__(self, k: int = 4, m: int = 2) -> None:
+        if k < 1:
+            raise ValueError("k (data fragments) must be >= 1")
+        if m < 0:
+            raise ValueError("m (parity fragments) must be >= 0")
+        if k + m > 255:
+            raise ValueError("k + m must be <= 255")
+        self.k = k
+        self.m = m
+
+    @property
+    def copies(self) -> int:  # type: ignore[override]
+        return self.k + self.m
+
+    @property
+    def min_fragments(self) -> int:  # type: ignore[override]
+        return self.k
+
+    def nodes_for(self, ring: HashRing, digest: bytes) -> tuple[str, ...]:
+        # Clamp like ReplicatedPlacement: a ring that has dropped below
+        # k + m keeps serving with fewer fragments (reduced tolerance)
+        # instead of failing every operation.
+        return ring.preference_list(digest, min(self.k + self.m, len(ring)))
+
+
+def make_scheme(
+    name: str,
+    replicas: int = 2,
+    stripe_width: int = 4,
+    ec_k: int = 4,
+    ec_m: int = 2,
+) -> PlacementScheme:
     """Config-string constructor used by the backup server and CLI."""
     if name == "vanilla":
         return VanillaPlacement()
@@ -111,4 +169,6 @@ def make_scheme(name: str, replicas: int = 2, stripe_width: int = 4) -> Placemen
         return StripedPlacement(stripe_width)
     if name == "replicated":
         return ReplicatedPlacement(replicas)
+    if name == "ec":
+        return ErasureCodedPlacement(ec_k, ec_m)
     raise ValueError(f"unknown placement scheme {name!r}")

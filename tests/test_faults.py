@@ -48,6 +48,34 @@ class TestFaultPlan:
         assert plan.kill.node_id == "node-2"
         assert plan.kill.at_op == 17
 
+    def test_parse_multiple_kills(self):
+        plan = FaultPlan.parse(
+            "seed=1,node.kill=node-1:10,node.kill=node-4:25"
+        )
+        assert [(k.node_id, k.at_op) for k in plan.kills] == [
+            ("node-1", 10),
+            ("node-4", 25),
+        ]
+        # Legacy single-kill accessor yields the first scheduled kill.
+        assert plan.kill is not None and plan.kill.node_id == "node-1"
+        with pytest.raises(ValueError):
+            FaultPlan.parse("node.kill=node-1:10,node.kill=node-1:20")
+
+    def test_multi_kill_wraps_each_named_backend(self):
+        plan = FaultPlan.parse("node.kill=node-0:1,node.kill=node-1:2")
+        first = plan.wrap_backend(MemoryBackend(), "node-0")
+        second = plan.wrap_backend(MemoryBackend(), "node-1")
+        spared = plan.wrap_backend(MemoryBackend(), "node-2")
+        assert isinstance(first, FaultyBackend)
+        assert isinstance(second, FaultyBackend)
+        assert not isinstance(spared, FaultyBackend)
+        with pytest.raises(InjectedFault):
+            first.contains_batch([b"a"])
+        second.contains_batch([b"a"])
+        with pytest.raises(InjectedFault):
+            second.contains_batch([b"b"])
+        assert plan.stats.kills == 2
+
     def test_parse_rejects_bad_keys_and_values(self):
         with pytest.raises(ValueError):
             FaultPlan.parse("bogus.key=1")
@@ -141,7 +169,8 @@ class TestFaultyBackend:
         (value,) = backend.get_batch([b"k"])
         assert value != b"payload"
         assert len(value) == len(b"payload")
-        assert plan.stats.bit_flips == 1
+        assert plan.stats.bit_flips_injected == 1
+        assert plan.stats.bit_flips_detected == 0
 
     def test_kill_at_op_threshold(self):
         plan = FaultPlan.parse("seed=6,node.kill=node-0:3,backend.io_error=0")

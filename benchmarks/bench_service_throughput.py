@@ -16,17 +16,24 @@ Reported per client count:
   sessions (wall clock from first byte to last FINISH_OK);
 * **remote/in-proc** — the wire efficiency ratio;
 * **dedup fraction** — duplicate chunks over total, proving the wire
-  path makes the same source-side dedup decisions as the local one.
+  path makes the same source-side dedup decisions as the local one;
+* **throttles / sheds** — overload-protection interventions during the
+  run (THROTTLE pacing hints, RETRY_LATER refusals, admission
+  rejections).  Both columns must be 0 for an unlimited run; with
+  ``--rate-limit`` they show what the reported MiB/s actually paid, so
+  a paced run can never pass off shed traffic as free throughput.
 
 Acceptance (both modes): every remote restore is bit-identical to the
 data that was backed up.
 
-Run standalone:  python benchmarks/bench_service_throughput.py [--quick]
+Run standalone:  python benchmarks/bench_service_throughput.py
+                   [--quick] [--rate-limit BYTES_PER_S]
 CI smoke:        python benchmarks/bench_service_throughput.py --quick
 """
 
 from __future__ import annotations
 
+import argparse
 import asyncio
 import sys
 import time
@@ -73,11 +80,20 @@ def run_in_process(jobs) -> float:
     return total / MB / elapsed
 
 
-async def _run_remote(jobs, queue_depth: int) -> tuple[float, float]:
-    """(aggregate MiB/s, dedup fraction) for concurrent wire backups."""
+async def _run_remote(
+    jobs, queue_depth: int, rate_bytes_per_s: float | None = None
+) -> tuple[float, float, dict]:
+    """(aggregate MiB/s, dedup fraction, overload counters) for
+    concurrent wire backups."""
     total = sum(len(data) for _, gens in jobs for _, data in gens)
     config = ServiceConfig(
-        port=0, max_sessions=max(16, len(jobs)), queue_depth=queue_depth
+        port=0,
+        max_sessions=max(16, len(jobs)),
+        queue_depth=queue_depth,
+        rate_bytes_per_s=rate_bytes_per_s,
+        # Pace rather than shed: a bench client has nowhere to retry to,
+        # and a paced run is exactly what the table should show.
+        shed_debt_s=600.0 if rate_bytes_per_s is not None else 5.0,
     )
     async with BackupService(config) as service:
 
@@ -98,38 +114,67 @@ async def _run_remote(jobs, queue_depth: int) -> tuple[float, float]:
             *(one(tenant, gens) for tenant, gens in jobs)
         )
         elapsed = time.perf_counter() - t0
+        metrics = service.metrics
+        overload = {
+            "throttles": metrics.throttles_sent,
+            "sheds": metrics.retry_later_sent + metrics.sessions_rejected,
+        }
     reports = [r for group in per_client for r in group]
     n_chunks = sum(r.n_chunks for r in reports)
     dups = sum(r.duplicate_chunks for r in reports)
-    return total / MB / elapsed, dups / max(1, n_chunks)
+    return total / MB / elapsed, dups / max(1, n_chunks), overload
 
 
-def run_remote(jobs, queue_depth: int = 4) -> tuple[float, float]:
-    return asyncio.run(_run_remote(jobs, queue_depth))
+def run_remote(
+    jobs, queue_depth: int = 4, rate_bytes_per_s: float | None = None
+) -> tuple[float, float, dict]:
+    return asyncio.run(_run_remote(jobs, queue_depth, rate_bytes_per_s))
 
 
-def build_table(report, client_counts, size_mb: int) -> None:
+def build_table(
+    report, client_counts, size_mb: int,
+    rate_bytes_per_s: float | None = None,
+) -> None:
+    limited = (
+        f", rate-limited {rate_bytes_per_s / MB:.1f} MiB/s/tenant"
+        if rate_bytes_per_s is not None
+        else ""
+    )
     table = report(
-        title=f"Remote vs in-process backup throughput ({size_mb} MiB/client)",
+        title=(
+            f"Remote vs in-process backup throughput "
+            f"({size_mb} MiB/client{limited})"
+        ),
         headers=[
             "clients", "in-proc MiB/s", "remote MiB/s",
-            "remote/in-proc", "dedup frac",
+            "remote/in-proc", "dedup frac", "throttles", "sheds",
         ],
         paper_note=(
             "wire front-end overhead and concurrency scaling over the "
-            "paper's single-host backup path"
+            "paper's single-host backup path; throttles/sheds expose "
+            "any overload-protection tax on the reported rate"
         ),
     )
     for n in client_counts:
         jobs = make_jobs(n, size_mb)
         local = run_in_process(jobs)
-        remote, dedup = run_remote(jobs)
+        remote, dedup, overload = run_remote(
+            jobs, rate_bytes_per_s=rate_bytes_per_s
+        )
+        if rate_bytes_per_s is None and (
+            overload["throttles"] or overload["sheds"]
+        ):
+            raise AssertionError(
+                f"unlimited run reported overload interventions: {overload}"
+            )
         table.rows.append([
             n,
             f"{local:.1f}",
             f"{remote:.1f}",
             f"{remote / local:.2f}",
             f"{dedup:.2f}",
+            overload["throttles"],
+            overload["sheds"],
         ])
 
 
@@ -142,7 +187,14 @@ def test_service_throughput(benchmark, report):
 
 
 def main(argv=None) -> int:
-    quick = "--quick" in (argv if argv is not None else sys.argv[1:])
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument(
+        "--rate-limit", type=float, default=None, metavar="BYTES_PER_S",
+        help="per-tenant service rate limit; the throttles/sheds columns "
+        "then show what pacing cost the reported MiB/s",
+    )
+    args = parser.parse_args(argv)
     tables: list[ResultTable] = []
 
     def report(title, headers, paper_note=""):
@@ -150,10 +202,16 @@ def main(argv=None) -> int:
         tables.append(table)
         return table
 
-    if quick:
-        build_table(report, client_counts=(1, 4), size_mb=2)
+    if args.quick:
+        build_table(
+            report, client_counts=(1, 4), size_mb=2,
+            rate_bytes_per_s=args.rate_limit,
+        )
     else:
-        build_table(report, client_counts=(1, 4, 16), size_mb=8)
+        build_table(
+            report, client_counts=(1, 4, 16), size_mb=8,
+            rate_bytes_per_s=args.rate_limit,
+        )
     for table in tables:
         print(format_table(table))
         print()

@@ -310,7 +310,8 @@ def _remote_backup(args, data: bytes) -> int:
         retry = RetryPolicy(attempts=max(1, args.retry))
     try:
         agent = RemoteAgent(
-            host, port, tenant=args.tenant, client_name="cli", retry=retry
+            host, port, tenant=args.tenant, client_name="cli", retry=retry,
+            auth=args.auth_token,
         )
     except (OSError, RemoteError) as exc:
         raise SystemExit(f"cannot reach backup service at {args.remote}: {exc}")
@@ -337,6 +338,9 @@ def _remote_backup(args, data: bytes) -> int:
         print(f"  survived the wire: {report.reconnects} reconnects, "
               f"{report.resumes} resumes, {report.replayed_frames} "
               "unacked frames replayed (acked chunks never re-shipped)")
+    if report.throttles:
+        print(f"  paced by the service: {report.throttles} THROTTLE "
+              "hints honored")
     print("  restore verified byte-exact")
     return 0
 
@@ -482,9 +486,28 @@ def cmd_serve(args) -> int:
             resume_grace_s=args.resume_grace,
             drain_s=args.drain,
             heartbeat_s=args.heartbeat,
+            auth_file=args.auth_file,
+            rate_bytes_per_s=args.rate_limit,
+            rate_ops_per_s=args.rate_ops,
+            global_bytes_per_s=args.global_rate_limit,
+            global_ops_per_s=args.global_rate_ops,
+            quota_bytes=args.quota,
+            quota_chunks=args.quota_chunks,
+            quota_sessions=args.quota_sessions,
+            restore_reserve=args.restore_reserve,
+            hello_timeout_s=args.hello_timeout,
+            brownout_lag_s=args.brownout_lag,
+            breaker_threshold=args.breaker,
         )
-    except ValueError as exc:
+    except (ValueError, OSError) as exc:
         raise SystemExit(f"serve config rejected: {exc}")
+    if args.auth_file:
+        from repro.service import AuthRegistry
+
+        try:
+            AuthRegistry.load(args.auth_file)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"--auth-file rejected: {exc}")
 
     async def run() -> None:
         service = BackupService(config)
@@ -501,6 +524,12 @@ def cmd_serve(args) -> int:
               f"store, <= {config.max_sessions} sessions)")
         print("  agent wire protocol (SHRD1) + HTTP /health /metrics "
               "on the same port; Ctrl-C or SIGTERM to stop")
+        if service.auth is not None:
+            print(f"  auth: {len(service.auth)} tenants from {args.auth_file}")
+        if service.limits.active:
+            print(f"  rate limits: {service.limits.describe()}")
+        if service.quota.active:
+            print(f"  tenant quotas: {service.quota.as_dict()}")
         if service.fault_plan is not None:
             print(f"  CHAOS ACTIVE: {service.fault_plan.describe()}")
         sys.stdout.flush()
@@ -680,6 +709,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="survive connection loss: redial up to N "
                           "times per outage and resume the snapshot "
                           "without re-shipping acked chunks (--remote)")
+    p_backup.add_argument("--auth-token", default="", metavar="TOKEN",
+                          help="tenant HMAC token for a service running "
+                          "with --auth-file (see repro.service.limits"
+                          ".auth_token)")
     add_threads_arg(p_backup)
     p_backup.set_defaults(fn=cmd_backup)
 
@@ -731,6 +764,48 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="SECS",
                          help="cluster failure-detector heartbeat period "
                          "(--store-backend cluster; default: off)")
+    p_serve.add_argument("--auth-file", default=None, metavar="FILE",
+                         help="require HELLO auth: one 'tenant: secret' "
+                         "per line; clients present the HMAC token from "
+                         "repro.service.limits.auth_token(secret, tenant)")
+    p_serve.add_argument("--rate-limit", type=float, default=None,
+                         metavar="BYTES_PER_S",
+                         help="per-tenant sustained inbound payload rate; "
+                         "over-rate traffic is THROTTLEd, sustained abuse "
+                         "gets RETRY_LATER")
+    p_serve.add_argument("--rate-ops", type=float, default=None,
+                         metavar="OPS_PER_S",
+                         help="per-tenant sustained data-frame rate")
+    p_serve.add_argument("--global-rate-limit", type=float, default=None,
+                         metavar="BYTES_PER_S",
+                         help="whole-service inbound payload rate ceiling")
+    p_serve.add_argument("--global-rate-ops", type=float, default=None,
+                         metavar="OPS_PER_S",
+                         help="whole-service data-frame rate ceiling")
+    p_serve.add_argument("--quota", type=int, default=None, metavar="BYTES",
+                         help="per-tenant stored-bytes quota (durable "
+                         "accounting; survives a --data-dir restart)")
+    p_serve.add_argument("--quota-chunks", type=int, default=None, metavar="N",
+                         help="per-tenant stored-chunk quota")
+    p_serve.add_argument("--quota-sessions", type=int, default=None,
+                         metavar="N",
+                         help="per-tenant concurrent-session quota")
+    p_serve.add_argument("--restore-reserve", type=int, default=0, metavar="N",
+                         help="session slots reserved for restore traffic "
+                         "(backups shed first under load; 0 = off)")
+    p_serve.add_argument("--hello-timeout", type=float, default=5.0,
+                         metavar="SECS",
+                         help="pre-auth deadline: drop connections that "
+                         "never complete HELLO (slowloris defence)")
+    p_serve.add_argument("--brownout-lag", type=float, default=None,
+                         metavar="SECS",
+                         help="enter brownout (wider decide batches, "
+                         "deferred scrub, window=1) when event-loop lag "
+                         "exceeds this (default: off)")
+    p_serve.add_argument("--breaker", type=int, default=None, metavar="N",
+                         help="open the store-path circuit breaker after N "
+                         "consecutive store failures; open = fast "
+                         "RETRY_LATER (default: off)")
     add_threads_arg(p_serve)
     p_serve.set_defaults(fn=cmd_serve)
 

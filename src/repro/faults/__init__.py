@@ -22,6 +22,7 @@ reads in :mod:`repro.store`, and retry/resume in :mod:`repro.service`.
 """
 
 from repro.faults.backend import FaultyBackend
+from repro.faults.overload import drive_overload, flood, slowloris
 from repro.faults.plan import (
     FAULTS_ENV,
     BackendFaultSpec,
@@ -29,6 +30,7 @@ from repro.faults.plan import (
     FaultStats,
     InjectedFault,
     KillSpec,
+    OverloadSpec,
     WireFaultSpec,
 )
 from repro.faults.wire import WireFaultInjector
@@ -41,6 +43,10 @@ __all__ = [
     "FaultyBackend",
     "InjectedFault",
     "KillSpec",
+    "OverloadSpec",
     "WireFaultInjector",
     "WireFaultSpec",
+    "drive_overload",
+    "flood",
+    "slowloris",
 ]

@@ -1,0 +1,160 @@
+"""Client-side overload drivers: connection floods and slowloris.
+
+The backend/wire injectors corrupt traffic the service *accepted*; this
+module is the other half of the chaos story — hostile load at the front
+door, driven from the client side so the service's admission control,
+pre-auth deadline, and shedding paths are exercised exactly as a real
+abusive client would hit them:
+
+* :func:`flood` — ``wire.flood=N[:seconds]``: N connections that send
+  the magic and then spray seeded garbage frames as fast as the socket
+  accepts them.  The service must answer each with one typed error (or
+  drop it at the pre-auth deadline) without wedging real sessions.
+* :func:`slowloris` — ``client.slowloris=N[:seconds]``: N connections
+  that dial, trickle at most a magic prefix, and then hold the socket
+  silently.  The handshake timeout must evict them before they pin
+  session slots.
+
+Both are deterministic (seeded per-connection RNG from the plan) and
+report through the plan's shared :class:`~repro.faults.plan.FaultStats`
+(``flood_conns`` / ``slowloris_conns``).  :func:`drive_overload` runs
+whatever the plan's :class:`~repro.faults.plan.OverloadSpec` asks for.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+from repro.faults.plan import FaultPlan, FaultStats, OverloadSpec
+
+__all__ = ["drive_overload", "flood", "slowloris"]
+
+#: Magic the service expects; replicated here so the drivers stay
+#: usable against any address without importing the service package.
+_MAGIC = b"SHRD1"
+
+
+async def _flood_one(
+    host: str, port: int, duration_s: float, rng: random.Random
+) -> None:
+    try:
+        reader, writer = await asyncio.open_connection(host, port)
+    except OSError:
+        return  # service gone or listen backlog full: nothing to spray
+    try:
+        writer.write(_MAGIC)
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + duration_s
+        while loop.time() < deadline:
+            writer.write(rng.randbytes(256))
+            try:
+                await asyncio.wait_for(
+                    writer.drain(), max(0.01, deadline - loop.time())
+                )
+            except (OSError, asyncio.TimeoutError):
+                return  # server answered with an error + close — good
+            await asyncio.sleep(0)
+    except OSError:
+        pass
+    finally:
+        try:
+            writer.close()
+        except Exception:
+            pass
+
+
+async def flood(
+    host: str,
+    port: int,
+    spec: OverloadSpec,
+    *,
+    seed: int = 0,
+    stats: FaultStats | None = None,
+) -> int:
+    """Open ``spec.flood_conns`` garbage-spraying connections; returns
+    how many actually dialed."""
+    if not spec.flood_conns:
+        return 0
+    tasks = [
+        asyncio.create_task(
+            _flood_one(
+                host,
+                port,
+                spec.flood_s,
+                random.Random(f"{seed}/flood/{i}"),
+            )
+        )
+        for i in range(spec.flood_conns)
+    ]
+    await asyncio.gather(*tasks)
+    if stats is not None:
+        stats.add("flood_conns", spec.flood_conns)
+    return spec.flood_conns
+
+
+async def _slowloris_one(
+    host: str, port: int, duration_s: float, rng: random.Random
+) -> None:
+    try:
+        reader, writer = await asyncio.open_connection(host, port)
+    except OSError:
+        return
+    try:
+        # Trickle a strict prefix of the magic (possibly nothing), then
+        # go silent: never enough for the server to classify us.
+        prefix = _MAGIC[: rng.randrange(len(_MAGIC))]
+        if prefix:
+            writer.write(prefix)
+            await writer.drain()
+        # Hold until the duration elapses or the server evicts us —
+        # read() returning EOF is the eviction landing.
+        try:
+            await asyncio.wait_for(reader.read(64), duration_s)
+        except asyncio.TimeoutError:
+            pass
+    except OSError:
+        pass
+    finally:
+        try:
+            writer.close()
+        except Exception:
+            pass
+
+
+async def slowloris(
+    host: str,
+    port: int,
+    spec: OverloadSpec,
+    *,
+    seed: int = 0,
+    stats: FaultStats | None = None,
+) -> int:
+    """Open ``spec.slowloris_conns`` silent holds; returns how many."""
+    if not spec.slowloris_conns:
+        return 0
+    tasks = [
+        asyncio.create_task(
+            _slowloris_one(
+                host,
+                port,
+                spec.slowloris_s,
+                random.Random(f"{seed}/slowloris/{i}"),
+            )
+        )
+        for i in range(spec.slowloris_conns)
+    ]
+    await asyncio.gather(*tasks)
+    if stats is not None:
+        stats.add("slowloris_conns", spec.slowloris_conns)
+    return spec.slowloris_conns
+
+
+async def drive_overload(host: str, port: int, plan: FaultPlan) -> dict:
+    """Run the plan's flood + slowloris concurrently; returns counts."""
+    spec = plan.overload
+    flooded, held = await asyncio.gather(
+        flood(host, port, spec, seed=plan.seed, stats=plan.stats),
+        slowloris(host, port, spec, seed=plan.seed, stats=plan.stats),
+    )
+    return {"flood_conns": flooded, "slowloris_conns": held}

@@ -29,6 +29,17 @@ A plan is a comma-separated list of ``key=value`` clauses::
   failure detector must notice without an explicit ``fail_node()``).
   Repeatable — one clause per node lets a drill kill several nodes at
   staggered points (e.g. two deaths against an ``ec 4+2`` placement).
+* ``wire.flood`` — ``N[:seconds]``: the overload driver opens ``N``
+  hostile connections that spray garbage at the service for that long
+  (default 2 s) — admission control and the pre-auth deadline must
+  absorb them.
+* ``client.slowloris`` — ``N[:seconds]``: ``N`` connections that dial,
+  trickle at most the magic, and then hold the socket open silently —
+  the handshake timeout must evict them before they pin session slots.
+
+The flood/slowloris clauses describe *client-side* load the drill
+driver (:mod:`repro.faults.overload`) generates; the service itself
+never reads them.
 """
 
 from __future__ import annotations
@@ -45,6 +56,7 @@ __all__ = [
     "FaultStats",
     "InjectedFault",
     "KillSpec",
+    "OverloadSpec",
     "WireFaultSpec",
 ]
 
@@ -53,6 +65,8 @@ FAULTS_ENV = "REPRO_FAULTS"
 
 _DEFAULT_LATENCY_S = 0.001
 _DEFAULT_STALL_S = 0.05
+_DEFAULT_FLOOD_S = 2.0
+_DEFAULT_SLOWLORIS_S = 2.0
 
 
 class InjectedFault(OSError):
@@ -94,6 +108,22 @@ class WireFaultSpec:
 
 
 @dataclass(frozen=True)
+class OverloadSpec:
+    """Client-side overload the drill driver generates against the
+    service: garbage-spraying flood connections and silent slowloris
+    holds (see :mod:`repro.faults.overload`)."""
+
+    flood_conns: int = 0
+    flood_s: float = _DEFAULT_FLOOD_S
+    slowloris_conns: int = 0
+    slowloris_s: float = _DEFAULT_SLOWLORIS_S
+
+    @property
+    def active(self) -> bool:
+        return bool(self.flood_conns or self.slowloris_conns)
+
+
+@dataclass(frozen=True)
 class KillSpec:
     """A scheduled one-shot node death: ``node_id`` dies at op ``at_op``."""
 
@@ -117,6 +147,9 @@ class FaultStats:
         "wire_drops",
         "wire_stalls",
         "wire_garbles",
+        # Overload driver: hostile connections actually opened.
+        "flood_conns",
+        "slowloris_conns",
     )
 
     def __init__(self) -> None:
@@ -169,6 +202,28 @@ def _parse_prob_seconds(
     return p, seconds
 
 
+def _parse_count_seconds(
+    key: str, raw: str, default_s: float
+) -> tuple[int, float]:
+    """Parse ``N`` or ``N:seconds`` (N >= 1)."""
+    count_raw, sep, sec_raw = raw.partition(":")
+    try:
+        count = int(count_raw)
+    except ValueError:
+        raise ValueError(f"fault clause {key}={raw!r}: not a count") from None
+    if count < 1:
+        raise ValueError(f"fault clause {key}={raw!r}: count must be >= 1")
+    if not sep:
+        return count, default_s
+    try:
+        seconds = float(sec_raw)
+    except ValueError:
+        raise ValueError(f"fault clause {key}={raw!r}: bad seconds") from None
+    if seconds <= 0:
+        raise ValueError(f"fault clause {key}={raw!r}: seconds must be positive")
+    return count, seconds
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """A parsed, seeded chaos plan shared by every injection point.
@@ -180,6 +235,7 @@ class FaultPlan:
     seed: int = 0
     backend: BackendFaultSpec = field(default_factory=BackendFaultSpec)
     wire: WireFaultSpec = field(default_factory=WireFaultSpec)
+    overload: OverloadSpec = field(default_factory=OverloadSpec)
     kills: tuple[KillSpec, ...] = ()
     spec: str = ""
     stats: FaultStats = field(default_factory=FaultStats, compare=False)
@@ -197,6 +253,7 @@ class FaultPlan:
         seed = 0
         backend: dict[str, float] = {}
         wire: dict[str, float] = {}
+        overload: dict[str, int | float] = {}
         kills: list[KillSpec] = []
         for clause in spec.split(","):
             clause = clause.strip()
@@ -218,6 +275,16 @@ class FaultPlan:
                 p, s = _parse_prob_seconds(key, raw, _DEFAULT_LATENCY_S)
                 backend["latency"] = p
                 backend["latency_s"] = s
+            elif key == "wire.flood":
+                # Matched before the probability-valued wire.* clauses:
+                # flood carries a connection count, not a probability.
+                n, s = _parse_count_seconds(key, raw, _DEFAULT_FLOOD_S)
+                overload["flood_conns"] = n
+                overload["flood_s"] = s
+            elif key == "client.slowloris":
+                n, s = _parse_count_seconds(key, raw, _DEFAULT_SLOWLORIS_S)
+                overload["slowloris_conns"] = n
+                overload["slowloris_s"] = s
             elif key in ("wire.drop", "wire.garble"):
                 wire[key.split(".", 1)[1]] = _parse_prob(key, raw)
             elif key == "wire.stall":
@@ -243,7 +310,7 @@ class FaultPlan:
                 kills.append(KillSpec(node_id, at_op))
             else:
                 known = sorted(
-                    ["seed", "node.kill"]
+                    ["seed", "node.kill", "wire.flood", "client.slowloris"]
                     + [f"backend.{f.name}" for f in fields(BackendFaultSpec) if f.name != "latency_s"]
                     + [f"wire.{f.name}" for f in fields(WireFaultSpec) if f.name != "stall_s"]
                 )
@@ -254,6 +321,7 @@ class FaultPlan:
             seed=seed,
             backend=BackendFaultSpec(**backend),
             wire=WireFaultSpec(**wire),
+            overload=OverloadSpec(**overload),
             kills=tuple(kills),
             spec=spec,
         )

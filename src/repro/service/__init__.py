@@ -16,9 +16,21 @@ This package turns the in-process :class:`~repro.backup.server
   local chunk+hash with in-flight shipping, plus a synchronous
   drop-in for :class:`~repro.backup.agent.ShredderAgent`;
 * :mod:`repro.service.metrics` — the aggregated health/metrics
-  surface served over plain HTTP on the same port.
+  surface served over plain HTTP on the same port;
+* :mod:`repro.service.limits` — overload protection: token-bucket
+  rate limits, per-tenant quotas with durable usage accounting,
+  shared-secret HMAC auth, and the store-path circuit breaker.
 """
 
+from repro.service.limits import (
+    AuthRegistry,
+    CircuitBreaker,
+    ServiceLimits,
+    TenantQuota,
+    TokenBucket,
+    UsageAccount,
+    auth_token,
+)
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     Err,
@@ -51,4 +63,11 @@ __all__ = [
     "RemoteBackupReport",
     "RetryPolicy",
     "ServiceMetrics",
+    "AuthRegistry",
+    "CircuitBreaker",
+    "ServiceLimits",
+    "TenantQuota",
+    "TokenBucket",
+    "UsageAccount",
+    "auth_token",
 ]

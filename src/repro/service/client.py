@@ -72,7 +72,9 @@ _abandoned_feeders = 0
 
 #: Error codes worth a reconnect + resume: transient corruption the
 #: wire injected (the batch was rejected atomically, replay fixes it),
-#: server overload, or an eviction that parked our session.
+#: server overload (RETRY_LATER parks the session server-side), or an
+#: eviction that parked our session.  UNAUTHORIZED and QUOTA_EXCEEDED
+#: are decisive — retrying cannot change the verdict.
 _RETRYABLE_CODES = frozenset(
     {
         Err.DIGEST_MISMATCH,
@@ -80,6 +82,7 @@ _RETRYABLE_CODES = frozenset(
         Err.BAD_FRAME,
         Err.INTERNAL,
         Err.EVICTED,
+        Err.RETRY_LATER,
     }
 )
 
@@ -139,6 +142,8 @@ class RemoteBackupReport:
     reconnects: int = 0
     resumes: int = 0
     replayed_frames: int = 0
+    #: THROTTLE frames the server sent us during this backup.
+    throttles: int = 0
 
     @property
     def dedup_fraction(self) -> float:
@@ -166,10 +171,14 @@ class AsyncBackupClient:
         retry: RetryPolicy | None = None,
         address: tuple[str, int] | None = None,
         client_name: str = "",
+        auth: str = "",
+        purpose: int = wire.PURPOSE_BACKUP,
     ) -> None:
         self.reader = reader
         self.writer = writer
         self.tenant = tenant
+        self.auth = auth
+        self.purpose = purpose
         self.session_id = session_id
         #: Max unacked CHUNK/POINTER batches in flight (server's hint).
         self.window = max(1, window)
@@ -192,6 +201,9 @@ class AsyncBackupClient:
         self.reconnects = 0
         self.resumes = 0
         self.replayed_frames = 0
+        #: THROTTLE frames absorbed; sends pace until ``_pace_until``.
+        self.throttles = 0
+        self._pace_until = 0.0
 
     @classmethod
     async def connect(
@@ -203,12 +215,25 @@ class AsyncBackupClient:
         client_name: str = "",
         max_frame: int = wire.DEFAULT_MAX_FRAME,
         retry: RetryPolicy | None = None,
+        auth: str = "",
+        purpose: int = wire.PURPOSE_BACKUP,
     ) -> "AsyncBackupClient":
-        """Dial, identify (magic + HELLO), and complete the handshake."""
+        """Dial, identify (magic + HELLO), and complete the handshake.
+
+        ``auth`` is the tenant's HMAC token (see
+        :func:`repro.service.limits.auth_token`) when the server runs
+        with ``--auth-file``; ``purpose`` tags the session for
+        priority-aware shedding (restores shed last).
+        """
         reader, writer = await asyncio.open_connection(host, port)
         writer.write(wire.MAGIC)
         writer.write(
-            wire.encode_frame(Msg.HELLO, wire.encode_hello(tenant, client_name))
+            wire.encode_frame(
+                Msg.HELLO,
+                wire.encode_hello(
+                    tenant, client_name, auth=auth, purpose=purpose
+                ),
+            )
         )
         await writer.drain()
         try:
@@ -231,22 +256,50 @@ class AsyncBackupClient:
             retry=retry,
             address=(host, port),
             client_name=client_name,
+            auth=auth,
+            purpose=purpose,
         )
 
     # -- low-level request/reply ---------------------------------------
 
+    async def _pace(self) -> None:
+        """Honour the last THROTTLE hint before touching the wire."""
+        delay = self._pace_until - time.monotonic()
+        if delay > 0:
+            await asyncio.sleep(delay)
+
+    def _note_throttle(self, retry_after_s: float) -> None:
+        self.throttles += 1
+        # Jittered pacing (same half-jitter family as RetryPolicy): the
+        # full hint plus up to 25% decorrelates a fleet of throttled
+        # clients instead of re-synchronising them on the same instant.
+        pace = retry_after_s
+        if self.retry is None or self.retry.jitter:
+            pace *= 1.0 + self._rng.uniform(0.0, 0.25)
+        self._pace_until = max(
+            self._pace_until, time.monotonic() + pace
+        )
+
     async def _send(self, msg: Msg, payload: bytes = b"") -> None:
+        await self._pace()
         self.writer.write(wire.encode_frame(msg, payload))
         await self.writer.drain()
 
     async def _recv(self) -> tuple[Msg, bytes]:
         timeout = self.retry.op_timeout_s if self.retry is not None else None
-        msg, payload = await asyncio.wait_for(
-            wire.read_frame(self.reader, self.max_frame), timeout
-        )
-        if msg is Msg.ERROR:
-            raise RemoteError(*wire.decode_error(payload))
-        return msg, payload
+        while True:
+            msg, payload = await asyncio.wait_for(
+                wire.read_frame(self.reader, self.max_frame), timeout
+            )
+            if msg is Msg.THROTTLE:
+                # Advisory control frame riding ahead of the real FIFO
+                # reply: absorb it, arm the pacer, keep waiting.
+                retry_after_s, _reason = wire.decode_throttle(payload)
+                self._note_throttle(retry_after_s)
+                continue
+            if msg is Msg.ERROR:
+                raise RemoteError(*wire.decode_error(payload))
+            return msg, payload
 
     async def _expect(self, expected: Msg) -> bytes:
         msg, payload = await self._recv()
@@ -265,6 +318,7 @@ class AsyncBackupClient:
     async def _redial(self) -> None:
         """Dial a fresh connection and redo the magic + HELLO handshake."""
         host, port = self._address
+        await self._pace()  # a throttled client backs off before redialing
         try:
             # Abort, don't close: a graceful FIN on the old socket looks
             # like a deliberate walk-away to the server (clean EOF =>
@@ -285,7 +339,13 @@ class AsyncBackupClient:
         writer.write(wire.MAGIC)
         writer.write(
             wire.encode_frame(
-                Msg.HELLO, wire.encode_hello(self.tenant, self._client_name)
+                Msg.HELLO,
+                wire.encode_hello(
+                    self.tenant,
+                    self._client_name,
+                    auth=self.auth,
+                    purpose=self.purpose,
+                ),
             )
         )
         await writer.drain()
@@ -602,6 +662,7 @@ class AsyncBackupClient:
         reconnects0 = self.reconnects
         resumes0 = self.resumes
         replayed0 = self.replayed_frames
+        throttles0 = self.throttles
 
         async def drain_one() -> None:
             if not self._unacked:
@@ -694,6 +755,7 @@ class AsyncBackupClient:
             reconnects=self.reconnects - reconnects0,
             resumes=self.resumes - resumes0,
             replayed_frames=self.replayed_frames - replayed0,
+            throttles=self.throttles - throttles0,
         )
 
 
@@ -836,6 +898,8 @@ class RemoteAgent:
         client_name: str = "",
         flush_items: int = 256,
         retry: RetryPolicy | None = None,
+        auth: str = "",
+        purpose: int = wire.PURPOSE_BACKUP,
     ) -> None:
         if flush_items < 1:
             raise ValueError("flush_items must be >= 1")
@@ -857,6 +921,8 @@ class RemoteAgent:
                     tenant=tenant,
                     client_name=client_name,
                     retry=retry,
+                    auth=auth,
+                    purpose=purpose,
                 )
             )
         except BaseException:

@@ -29,7 +29,69 @@ from dataclasses import asdict, dataclass, field
 
 from repro.core import stats as core_stats
 
-__all__ = ["ServiceMetrics", "render_text"]
+__all__ = ["LatencyHistogram", "ServiceMetrics", "render_text"]
+
+
+#: Fixed log-scale bucket upper bounds in seconds (factor ~3.16 per
+#: step, 100 µs .. 10 s), shared by every histogram so series line up.
+LATENCY_BUCKETS_S = (
+    0.0001,
+    0.000316,
+    0.001,
+    0.00316,
+    0.01,
+    0.0316,
+    0.1,
+    0.316,
+    1.0,
+    3.16,
+    10.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed log-scale latency histogram (thread-safe observe).
+
+    Buckets are cumulative-free (each count is *within* the bucket, the
+    renderer can cumsum if it wants Prometheus ``le`` semantics); an
+    overflow bucket catches anything slower than the last bound.
+    """
+
+    __slots__ = ("_lock", "buckets", "count", "total_s", "max_s")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.buckets = [0] * (len(LATENCY_BUCKETS_S) + 1)
+        self.count = 0
+        self.total_s = 0.0
+        self.max_s = 0.0
+
+    def observe(self, seconds: float) -> None:
+        idx = len(LATENCY_BUCKETS_S)
+        for i, bound in enumerate(LATENCY_BUCKETS_S):
+            if seconds <= bound:
+                idx = i
+                break
+        with self._lock:
+            self.buckets[idx] += 1
+            self.count += 1
+            self.total_s += seconds
+            if seconds > self.max_s:
+                self.max_s = seconds
+
+    def as_dict(self) -> dict:
+        with self._lock:
+            buckets = list(self.buckets)
+            count, total_s, max_s = self.count, self.total_s, self.max_s
+        doc = {
+            "count": count,
+            "mean_ms": (total_s / count * 1000.0) if count else 0.0,
+            "max_ms": max_s * 1000.0,
+        }
+        for bound, n in zip(LATENCY_BUCKETS_S, buckets):
+            doc[f"le_{bound * 1000.0:g}ms"] = n
+        doc["overflow"] = buckets[-1]
+        return doc
 
 
 @dataclass
@@ -57,9 +119,37 @@ class ServiceMetrics:
     sessions_resumed: int = 0
     sessions_expired: int = 0
     sessions_evicted: int = 0
+    #: Overload protection: connections dropped for never finishing the
+    #: HELLO handshake inside the pre-auth deadline, failed AUTHs, hard
+    #: quota denials, sessions shed at admission, THROTTLE control
+    #: frames sent, data frames refused with RETRY_LATER, brownout
+    #: entries, decide batches coalesced while browned out, and circuit
+    #: breaker opens / fast-failed requests.
+    preauth_evictions: int = 0
+    auth_failures: int = 0
+    quota_rejections: int = 0
+    sessions_shed: int = 0
+    throttles_sent: int = 0
+    retry_later_sent: int = 0
+    brownouts: int = 0
+    decide_coalesced: int = 0
+    breaker_opens: int = 0
+    breaker_fastfails: int = 0
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
+        # Histograms live outside the dataclass fields (asdict would
+        # choke on them); per-op round-trip service time in the worker.
+        self.latency = {
+            "decide": LatencyHistogram(),
+            "chunk": LatencyHistogram(),
+            "pointer": LatencyHistogram(),
+        }
+
+    def observe_latency(self, op: str, seconds: float) -> None:
+        hist = self.latency.get(op)
+        if hist is not None:
+            hist.observe(seconds)
 
     def add(self, **deltas: int) -> None:
         with self._lock:
@@ -79,6 +169,7 @@ class ServiceMetrics:
                 if not k.startswith("_")
             }
         data["uptime_s"] = time.time() - data.pop("started_at")
+        data["latency"] = {op: h.as_dict() for op, h in self.latency.items()}
         return data
 
 
@@ -91,6 +182,8 @@ def service_snapshot(service) -> dict:
             **asdict(namespace.counters),
             "index_chunks": len(namespace.index),
             "dedup": asdict(namespace.index.stats),
+            "usage": namespace.usage.as_dict(),
+            "active_sessions": namespace.active_sessions,
         }
     store_doc = {
         "backend": service.storage_kind,
@@ -107,6 +200,18 @@ def service_snapshot(service) -> dict:
         "tenants": tenants,
         "core": core_stats.snapshot(),
     }
+    limits = getattr(service, "limits", None)
+    if limits is not None and limits.active:
+        doc["limits"] = limits.describe()
+    quota = getattr(service, "quota", None)
+    if quota is not None and quota.active:
+        doc["quota"] = quota.as_dict()
+    breaker = getattr(service, "breaker", None)
+    if breaker is not None:
+        doc["breaker"] = breaker.describe()
+    doc["service"]["brownout_active"] = bool(
+        getattr(service, "brownout_active", False)
+    )
     plan = getattr(service, "fault_plan", None)
     if plan is not None:
         doc["faults"] = {"spec": plan.describe(), **plan.stats.as_dict()}

@@ -42,10 +42,15 @@ __all__ = [
 ]
 
 MAGIC = b"SHRD1"
-#: v2 adds the resume handshake: BEGIN_SNAPSHOT carries a
+#: v2 added the resume handshake: BEGIN_SNAPSHOT carries a
 #: client-generated resume token, and RESUME / RESUME_OK let a
 #: reconnecting client continue a parked mid-backup session.
-PROTOCOL_VERSION = 2
+#: v3 adds overload protection: HELLO carries an HMAC auth token and a
+#: traffic purpose (backup vs restore, for priority-aware shedding),
+#: the server may interleave THROTTLE control frames carrying
+#: retry-after pacing hints, and UNAUTHORIZED / QUOTA_EXCEEDED /
+#: RETRY_LATER are typed errors.
+PROTOCOL_VERSION = 3
 
 #: Hard per-frame ceiling: a CHUNK_BATCH of autotune-sized scan batches
 #: stays far below this; anything larger is a corrupt or hostile frame.
@@ -80,6 +85,11 @@ class Msg(IntEnum):
     ERROR = 18
     RESUME = 19
     RESUME_OK = 20
+    #: Server -> client control frame, allowed *between* replies: the
+    #: sender is over a rate limit and the peer should pace itself by
+    #: the carried retry-after hint.  Not a reply — clients absorb it
+    #: transparently while waiting for the real (FIFO) reply.
+    THROTTLE = 21
 
 
 class Err(IntEnum):
@@ -101,7 +111,24 @@ class Err(IntEnum):
     #: The server evicted this connection for stalling past the
     #: configured timeout; any open snapshot was parked for resume.
     EVICTED = 11
+    #: HELLO failed authentication (bad or missing token, or the
+    #: tenant is unknown to the auth registry — deliberately the same
+    #: answer, so the handshake cannot probe for tenant existence).
+    UNAUTHORIZED = 12
+    #: A hard per-tenant ceiling (stored bytes, chunk count, or
+    #: concurrent sessions) would be exceeded; not retryable.
+    QUOTA_EXCEEDED = 13
+    #: The server is shedding load (sustained over-rate, open circuit
+    #: breaker, or brownout); retry after backing off — any open
+    #: snapshot was parked for resume, nothing was applied.
+    RETRY_LATER = 14
 
+
+#: HELLO traffic purposes, used for priority-aware load shedding at
+#: admission: restore traffic (a tenant trying to get data *back*)
+#: sheds last, so a reserve of session slots can be held for it.
+PURPOSE_BACKUP = 0
+PURPOSE_RESTORE = 1
 
 #: DIGEST_BATCH modes: QUERY is a read-only membership probe against
 #: the shared payload store (the remote twin of ``has_chunk``); DECIDE
@@ -196,17 +223,38 @@ def _done(payload: bytes, offset: int) -> None:
 # ----------------------------------------------------------------------
 
 
-def encode_hello(tenant: str, client_name: str = "", version: int = PROTOCOL_VERSION) -> bytes:
-    return _U16.pack(version) + _pack_str(tenant) + _pack_str(client_name)
+def encode_hello(
+    tenant: str,
+    client_name: str = "",
+    version: int = PROTOCOL_VERSION,
+    auth: str = "",
+    purpose: int = PURPOSE_BACKUP,
+) -> bytes:
+    """v3 appends an auth token (HMAC hexdigest, empty = anonymous) and
+    a traffic purpose byte; v2 frames simply stop after the name."""
+    return (
+        _U16.pack(version)
+        + _pack_str(tenant)
+        + _pack_str(client_name)
+        + _pack_str(auth)
+        + bytes([purpose])
+    )
 
 
-def decode_hello(payload: bytes) -> tuple[int, str, str]:
+def decode_hello(payload: bytes) -> tuple[int, str, str, str, int]:
     raw, offset = _take(payload, 0, _U16.size)
     (version,) = _U16.unpack(raw)
     tenant, offset = _take_str(payload, offset)
     client_name, offset = _take_str(payload, offset)
+    if offset == len(payload):
+        return version, tenant, client_name, "", PURPOSE_BACKUP  # v2 frame
+    auth, offset = _take_str(payload, offset)
+    raw, offset = _take(payload, offset, 1)
+    purpose = raw[0]
+    if purpose not in (PURPOSE_BACKUP, PURPOSE_RESTORE):
+        raise ProtocolError(f"unknown traffic purpose {purpose}")
     _done(payload, offset)
-    return version, tenant, client_name
+    return version, tenant, client_name, auth, purpose
 
 
 def encode_hello_ok(session_id: str, window: int, version: int = PROTOCOL_VERSION) -> bytes:
@@ -493,6 +541,25 @@ def decode_snapshot_list(payload: bytes) -> list[str]:
         ids.append(sid)
     _done(payload, offset)
     return ids
+
+
+# ----------------------------------------------------------------------
+# throttle control frames
+# ----------------------------------------------------------------------
+
+
+def encode_throttle(retry_after_s: float, reason: str = "") -> bytes:
+    """Retry-after hint in milliseconds (u32, so up to ~49 days)."""
+    millis = max(0, min(0xFFFFFFFF, int(round(retry_after_s * 1000.0))))
+    return _U32.pack(millis) + _pack_str(reason)
+
+
+def decode_throttle(payload: bytes) -> tuple[float, str]:
+    raw, offset = _take(payload, 0, _U32.size)
+    (millis,) = _U32.unpack(raw)
+    reason, offset = _take_str(payload, offset)
+    _done(payload, offset)
+    return millis / 1000.0, reason
 
 
 # ----------------------------------------------------------------------

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import asyncio
 import os
+import time
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -38,6 +39,12 @@ from repro.backup.agent import ShredderAgent
 from repro.backup.store import ChunkStore
 from repro.faults import FAULTS_ENV, FaultPlan
 from repro.service import protocol as wire
+from repro.service.limits import (
+    AuthRegistry,
+    CircuitBreaker,
+    ServiceLimits,
+    TenantQuota,
+)
 from repro.service.metrics import (
     ServiceMetrics,
     render_json,
@@ -108,6 +115,43 @@ class ServiceConfig:
     #: Cluster heartbeat period (seconds); ``None`` disables the beat.
     #: Only meaningful with ``store_backend="cluster"``.
     heartbeat_s: float | None = None
+    #: Shared-secret auth file (``tenant: secret`` lines); ``None``
+    #: serves anonymously, exactly the pre-v3 behaviour.
+    auth_file: str | None = None
+    #: Per-tenant rate limits (``None`` = unlimited): sustained inbound
+    #: payload bytes/s and data-frame ops/s, enforced with THROTTLE
+    #: pacing first and RETRY_LATER shedding past ``shed_debt_s``.
+    rate_bytes_per_s: float | None = None
+    rate_ops_per_s: float | None = None
+    #: Whole-service rate ceilings shared by every tenant.
+    global_bytes_per_s: float | None = None
+    global_ops_per_s: float | None = None
+    #: A frame whose pacing debt would exceed this many seconds is shed
+    #: (typed RETRY_LATER + park) instead of paced.
+    shed_debt_s: float = 5.0
+    #: Per-tenant hard quotas (``None`` = unlimited): stored payload
+    #: bytes, stored chunk count, concurrent sessions.
+    quota_bytes: int | None = None
+    quota_chunks: int | None = None
+    quota_sessions: int | None = None
+    #: Session slots held back from backup traffic so restores — a
+    #: tenant trying to get data *back* — always shed last; 0 disables.
+    restore_reserve: int = 0
+    #: Pre-auth deadline: a connection must deliver magic + HELLO
+    #: within this many seconds or it is dropped without ever holding a
+    #: session slot; ``None`` disables (pre-v3 behaviour).
+    hello_timeout_s: float | None = 5.0
+    #: Brownout triggers (``None`` disables that trigger; both None =
+    #: no monitor task): sustained event-loop lag in seconds, or total
+    #: frames queued across sessions.
+    brownout_lag_s: float | None = None
+    brownout_queue_frames: int | None = None
+    #: How long a triggered brownout holds after the signal clears.
+    brownout_hold_s: float = 2.0
+    #: Store-path circuit breaker: consecutive store failures before it
+    #: opens (``None`` disables), and the open-state cooldown.
+    breaker_threshold: int | None = None
+    breaker_cooldown_s: float = 1.0
 
     def __post_init__(self) -> None:
         resolve_backend(self.backend, self.data_dir)  # raises on bad kind
@@ -137,6 +181,38 @@ class ServiceConfig:
             raise ValueError("read_attempts must be >= 1")
         if self.put_attempts is not None and self.put_attempts < 1:
             raise ValueError("put_attempts must be >= 1")
+        for name in (
+            "rate_bytes_per_s",
+            "rate_ops_per_s",
+            "global_bytes_per_s",
+            "global_ops_per_s",
+        ):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive (or None)")
+        if self.shed_debt_s <= 0:
+            raise ValueError("shed_debt_s must be positive")
+        for name in ("quota_bytes", "quota_chunks", "quota_sessions"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be >= 1 (or None)")
+        if not 0 <= self.restore_reserve < self.max_sessions:
+            raise ValueError("restore_reserve must be in [0, max_sessions)")
+        if self.hello_timeout_s is not None and self.hello_timeout_s <= 0:
+            raise ValueError("hello_timeout_s must be positive (or None)")
+        if self.brownout_lag_s is not None and self.brownout_lag_s <= 0:
+            raise ValueError("brownout_lag_s must be positive (or None)")
+        if (
+            self.brownout_queue_frames is not None
+            and self.brownout_queue_frames < 1
+        ):
+            raise ValueError("brownout_queue_frames must be >= 1 (or None)")
+        if self.brownout_hold_s <= 0:
+            raise ValueError("brownout_hold_s must be positive")
+        if self.breaker_threshold is not None and self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1 (or None)")
+        if self.breaker_cooldown_s <= 0:
+            raise ValueError("breaker_cooldown_s must be positive")
 
 
 @dataclass
@@ -212,6 +288,30 @@ class BackupService:
             backend=self.storage_kind, data_dir=data_dir
         )
         self.metrics = ServiceMetrics()
+        self.auth = (
+            AuthRegistry.load(cfg.auth_file) if cfg.auth_file else None
+        )
+        self.limits = ServiceLimits(
+            tenant_bytes_per_s=cfg.rate_bytes_per_s,
+            tenant_ops_per_s=cfg.rate_ops_per_s,
+            global_bytes_per_s=cfg.global_bytes_per_s,
+            global_ops_per_s=cfg.global_ops_per_s,
+        )
+        self.quota = TenantQuota(
+            max_bytes=cfg.quota_bytes,
+            max_chunks=cfg.quota_chunks,
+            max_sessions=cfg.quota_sessions,
+        )
+        self.breaker = (
+            CircuitBreaker(cfg.breaker_threshold, cfg.breaker_cooldown_s)
+            if cfg.breaker_threshold is not None
+            else None
+        )
+        #: Brownout: while ``time.monotonic() < _brownout_until`` the
+        #: service widens decide batches, defers scrubbing, and hands
+        #: new sessions a window of 1.
+        self._brownout_until = 0.0
+        self._brownout_task: asyncio.Task | None = None
         self._server: asyncio.base_events.Server | None = None
         self._session_seq = 0
         self._conn_seq = 0
@@ -241,6 +341,11 @@ class BackupService:
         self.port = self._server.sockets[0].getsockname()[1]
         if self.config.heartbeat_s is not None and hasattr(self.store, "heartbeat"):
             self._heartbeat_task = asyncio.create_task(self._heartbeat_loop())
+        if (
+            self.config.brownout_lag_s is not None
+            or self.config.brownout_queue_frames is not None
+        ):
+            self._brownout_task = asyncio.create_task(self._brownout_monitor())
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -255,13 +360,15 @@ class BackupService:
         cancelled — a SIGTERM mid-backup prefers a finished snapshot
         over a parked one.  Idle connections are not waited for.
         """
-        if self._heartbeat_task is not None:
-            self._heartbeat_task.cancel()
-            try:
-                await self._heartbeat_task
-            except asyncio.CancelledError:
-                pass
-            self._heartbeat_task = None
+        for attr in ("_heartbeat_task", "_brownout_task"):
+            task = getattr(self, attr)
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+                setattr(self, attr, None)
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -287,9 +394,46 @@ class BackupService:
         while True:
             await asyncio.sleep(period)
             try:
-                self.store.heartbeat()
+                # Brownout defers the integrity-scrub slice: failure
+                # detection/repair stays on the beat, background
+                # re-verification yields its cycles to live traffic.
+                self.store.heartbeat(scrub=not self.brownout_active)
             except Exception:  # noqa: BLE001 — the beat must outlive faults
                 pass
+
+    # -- brownout (graceful degradation) -------------------------------
+
+    @property
+    def brownout_active(self) -> bool:
+        return time.monotonic() < self._brownout_until
+
+    def enter_brownout(self, hold_s: float | None = None) -> None:
+        """Degrade for ``hold_s`` (config default): widen decide batches,
+        defer scrubbing, advertise window=1 to new sessions.  Called by
+        the monitor on lag/queue pressure; public for drills and ops."""
+        if not self.brownout_active:
+            self.metrics.add(brownouts=1)
+        hold = self.config.brownout_hold_s if hold_s is None else hold_s
+        self._brownout_until = max(
+            self._brownout_until, time.monotonic() + hold
+        )
+
+    async def _brownout_monitor(self) -> None:
+        cfg = self.config
+        tick = 0.05
+        loop = asyncio.get_running_loop()
+        while True:
+            before = loop.time()
+            await asyncio.sleep(tick)
+            lag = loop.time() - before - tick
+            queued = sum(s.queue.qsize() for s in self._sessions)
+            if (
+                cfg.brownout_lag_s is not None and lag > cfg.brownout_lag_s
+            ) or (
+                cfg.brownout_queue_frames is not None
+                and queued >= cfg.brownout_queue_frames
+            ):
+                self.enter_brownout()
 
     def close(self) -> None:
         """Synchronous state teardown (idempotent)."""
@@ -360,8 +504,18 @@ class BackupService:
         self.metrics.add(connections_total=1, connections_active=1)
         try:
             try:
-                first = await reader.readexactly(len(wire.MAGIC))
+                # Pre-auth deadline: the 5 magic bytes must arrive fast
+                # or the connection never gets near a session slot — a
+                # slowloris that dials and sends nothing costs only a
+                # parked socket for hello_timeout_s.
+                first = await asyncio.wait_for(
+                    reader.readexactly(len(wire.MAGIC)),
+                    self.config.hello_timeout_s,
+                )
             except asyncio.IncompleteReadError:
+                return
+            except asyncio.TimeoutError:
+                self.metrics.add(preauth_evictions=1)
                 return
             if first == wire.MAGIC:
                 await self._agent_session(reader, writer)
@@ -404,13 +558,32 @@ class BackupService:
 
     async def _agent_session(self, reader, writer) -> None:
         cfg = self.config
-        msg, payload = await wire.read_frame(reader, cfg.max_frame)
+        try:
+            msg, payload = await asyncio.wait_for(
+                wire.read_frame(reader, cfg.max_frame), cfg.hello_timeout_s
+            )
+        except asyncio.TimeoutError:
+            # Magic arrived but HELLO never did: drop pre-auth, the
+            # connection never held a session slot.
+            self.metrics.add(preauth_evictions=1)
+            return
+        except wire.ProtocolError as exc:
+            # Garbage where the HELLO frame belongs (e.g. a flood
+            # connection): one typed error, then the door closes.
+            await self._send_error(writer, Err.BAD_FRAME, str(exc))
+            return
         self.metrics.add(frames_received=1)
         if msg is not Msg.HELLO:
             await self._send_error(writer, Err.BAD_FRAME, "expected HELLO")
             return
-        version, tenant_name, _client_name = wire.decode_hello(payload)
-        if version != wire.PROTOCOL_VERSION:
+        try:
+            version, tenant_name, _client_name, auth, purpose = (
+                wire.decode_hello(payload)
+            )
+        except wire.ProtocolError as exc:
+            await self._send_error(writer, Err.BAD_FRAME, str(exc))
+            return
+        if version not in (2, wire.PROTOCOL_VERSION):
             await self._send_error(
                 writer,
                 Err.VERSION_MISMATCH,
@@ -418,12 +591,25 @@ class BackupService:
                 f"client sent {version}",
             )
             return
-        if self._active_sessions >= cfg.max_sessions:
+        if self.auth is not None and not self.auth.verify(tenant_name, auth):
+            self.metrics.add(auth_failures=1)
+            await self._send_error(
+                writer, Err.UNAUTHORIZED, "bad tenant or auth token"
+            )
+            return
+        # Priority-aware shedding: backup traffic only gets the slots
+        # left after the restore reserve; restores shed last.
+        limit = cfg.max_sessions
+        if purpose == wire.PURPOSE_BACKUP and cfg.restore_reserve > 0:
+            limit = cfg.max_sessions - cfg.restore_reserve
+        if self._active_sessions >= limit:
             self.metrics.add(sessions_rejected=1)
+            if limit < cfg.max_sessions:
+                self.metrics.add(sessions_shed=1)
             await self._send_error(
                 writer,
                 Err.BUSY,
-                f"session limit {cfg.max_sessions} reached",
+                f"session limit {limit} reached",
             )
             return
         try:
@@ -431,13 +617,26 @@ class BackupService:
         except ValueError as exc:
             await self._send_error(writer, Err.BAD_TENANT, str(exc))
             return
+        if (
+            self.quota.max_sessions is not None
+            and namespace.active_sessions >= self.quota.max_sessions
+        ):
+            self.metrics.add(quota_rejections=1)
+            await self._send_error(
+                writer,
+                Err.QUOTA_EXCEEDED,
+                f"tenant session quota {self.quota.max_sessions} reached",
+            )
+            return
         self._session_seq += 1
         self._conn_seq += 1
         session_id = f"{tenant_name}-{self._session_seq}"
         self._active_sessions += 1
         self.metrics.add(sessions_total=1, sessions_active=1)
         namespace.counters.sessions += 1
+        namespace.active_sessions += 1
         session = _Session(self, namespace, reader, writer)
+        session.peer_version = version
         if self.fault_plan is not None:
             session.wire_faults = self.fault_plan.wire_injector(
                 f"conn-{self._conn_seq}"
@@ -447,12 +646,17 @@ class BackupService:
             await self._send_frame(
                 writer,
                 Msg.HELLO_OK,
-                wire.encode_hello_ok(session_id, cfg.window),
+                wire.encode_hello_ok(
+                    session_id,
+                    # Brownout narrows new sessions to stop-and-wait.
+                    1 if self.brownout_active else cfg.window,
+                ),
             )
             await session.run()
         finally:
             self._active_sessions -= 1
             self.metrics.add(sessions_active=-1)
+            namespace.active_sessions -= 1
             self._sessions.discard(session)
             session.release()
 
@@ -535,6 +739,12 @@ class _Session:
         self.clean_eof: bool = False
         #: Per-connection chaos injector (None when no plan is active).
         self.wire_faults = None
+        #: Negotiated protocol version; v2 peers never receive THROTTLE
+        #: frames (they still get server-side pacing).
+        self.peer_version: int = wire.PROTOCOL_VERSION
+        #: Pushback slot for brownout decide-coalescing: the first
+        #: non-matching frame drained while grouping waits here.
+        self._pending = None
 
     def abort_open(self) -> None:
         if self.open_scoped is not None:
@@ -635,7 +845,10 @@ class _Session:
 
     async def _worker(self) -> None:
         while True:
-            item = await self.queue.get()
+            if self._pending is not None:
+                item, self._pending = self._pending, None
+            else:
+                item = await self.queue.get()
             if item is self._EOF:
                 return
             if isinstance(item, tuple) and item[0] == "protocol-error":
@@ -654,6 +867,9 @@ class _Session:
                 return
             msg, payload = item
             try:
+                # Overload gates first: rate pacing/shedding and the
+                # store-path breaker answer before any work is done.
+                await self._admit_frame(msg, payload)
                 await self._dispatch(msg, payload)
             except SessionError as exc:
                 await self.service._send_error(self.writer, exc.code, str(exc))
@@ -680,6 +896,78 @@ class _Session:
                 self.release()
                 return
 
+    # -- overload gates ------------------------------------------------
+
+    #: Frames charged against the rate limiters (inbound data plane).
+    _DATA_FRAMES = frozenset(
+        {Msg.DIGEST_BATCH, Msg.CHUNK_BATCH, Msg.POINTER_BATCH}
+    )
+    #: Frames that touch the payload store (circuit-breaker scope).
+    _STORE_FRAMES = frozenset(
+        {
+            Msg.DIGEST_BATCH,
+            Msg.CHUNK_BATCH,
+            Msg.POINTER_BATCH,
+            Msg.FINISH,
+            Msg.RESTORE,
+        }
+    )
+    #: Latency-histogram series per round-trip kind.
+    _LATENCY_OPS = {
+        Msg.DIGEST_BATCH: "decide",
+        Msg.CHUNK_BATCH: "chunk",
+        Msg.POINTER_BATCH: "pointer",
+    }
+
+    async def _admit_frame(self, msg: Msg, payload: bytes) -> None:
+        """Rate + breaker gate, run before any frame does work.
+
+        Shedding is deliberately connection-terminating (fatal): a
+        non-fatal ERROR in place of a BATCH_OK would desynchronise the
+        applied-frames high-water mark resume relies on, so the refused
+        session parks instead and the client replays over RESUME.
+        """
+        service = self.service
+        breaker = service.breaker
+        if breaker is not None and msg in self._STORE_FRAMES:
+            if not breaker.allow():
+                service.metrics.add(breaker_fastfails=1)
+                raise SessionError(
+                    Err.RETRY_LATER,
+                    "store path degraded; "
+                    f"retry in {breaker.retry_after():.2f}s",
+                    fatal=True,
+                )
+        if msg in self._DATA_FRAMES and service.limits.active:
+            delay = service.limits.charge(self.namespace.name, len(payload))
+            if delay > service.config.shed_debt_s:
+                # Refund so the shed frame's tokens don't penalise the
+                # tenant's next (post-backoff) attempt.
+                service.limits.refund(self.namespace.name, len(payload))
+                service.metrics.add(retry_later_sent=1)
+                raise SessionError(
+                    Err.RETRY_LATER,
+                    f"over rate limit; retry in {delay:.2f}s",
+                    fatal=True,
+                )
+            if delay > 0:
+                await self._throttle(delay, "rate limit")
+
+    async def _throttle(self, delay: float, reason: str) -> None:
+        """Pace the worker by ``delay``, telling a v3 peer why first.
+
+        The THROTTLE control frame rides ahead of the paced reply (the
+        FIFO reply order is untouched); the server-side sleep is the
+        enforcement, the frame is the client's hint to self-pace.
+        """
+        service = self.service
+        if self.peer_version >= 3:
+            service.metrics.add(throttles_sent=1)
+            await service._send_frame(
+                self.writer, Msg.THROTTLE, wire.encode_throttle(delay, reason)
+            )
+        await asyncio.sleep(delay)
+
     # -- frame handlers ------------------------------------------------
 
     async def _dispatch(self, msg: Msg, payload: bytes) -> None:
@@ -698,7 +986,70 @@ class _Session:
             raise SessionError(
                 Err.BAD_FRAME, f"unexpected {msg.name} frame", fatal=True
             ) from None
-        await handler(payload)
+        service = self.service
+        if (
+            msg is Msg.DIGEST_BATCH
+            and service.brownout_active
+            and payload[:1] == bytes([wire.MODE_DECIDE])
+            and self.open_scoped is not None
+        ):
+            group = self._drain_decide_group(payload)
+            if len(group) > 1:
+                await self._on_digest_group(group)
+                return
+        breaker = service.breaker if msg in self._STORE_FRAMES else None
+        op = self._LATENCY_OPS.get(msg)
+        start = time.monotonic()
+        try:
+            await handler(payload)
+        except (ConnectionResetError, BrokenPipeError):
+            raise
+        except OSError as exc:
+            # Store-path failure (includes injected faults).  With the
+            # breaker configured this feeds it and answers a typed
+            # RETRY_LATER; without it the generic INTERNAL path (the
+            # pre-v3 behaviour) handles the frame.
+            if breaker is None:
+                raise
+            before_opens = breaker.opens
+            breaker.record_failure()
+            if breaker.opens > before_opens:
+                service.metrics.add(breaker_opens=1)
+            raise SessionError(
+                Err.RETRY_LATER,
+                f"store failure: {type(exc).__name__}: {exc}",
+                fatal=True,
+            ) from exc
+        else:
+            if breaker is not None:
+                breaker.record_success()
+            if op is not None:
+                service.metrics.observe_latency(
+                    op, time.monotonic() - start
+                )
+
+    def _drain_decide_group(self, first_payload: bytes) -> list[bytes]:
+        """Brownout batch widening: drain consecutive queued decide
+        batches so one index pass serves them all.  The first frame
+        that doesn't match waits in ``_pending`` for the next worker
+        iteration — nothing is reordered."""
+        group = [first_payload]
+        while True:
+            try:
+                item = self.queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return group
+            if (
+                isinstance(item, tuple)
+                and len(item) == 2
+                and item[0] is Msg.DIGEST_BATCH
+                and isinstance(item[1], (bytes, bytearray))
+                and item[1][:1] == bytes([wire.MODE_DECIDE])
+            ):
+                group.append(item[1])
+            else:
+                self._pending = item
+                return group
 
     def _require_open(self) -> str:
         if self.open_scoped is None:
@@ -783,49 +1134,87 @@ class _Session:
             ),
         )
 
+    def _decide_flags(self, digests, lengths) -> list[bool]:
+        """Tenant-scoped dedup decision, exactly the in-process
+        single-store shape: lookup_or_insert on the tenant index, then
+        force a re-ship when the index outlived the payload (GC or
+        restart skew) so pointers can never dangle."""
+        store = self.service.store
+        counters = self.namespace.counters
+        chunks = []
+        offset = counters.bytes_received
+        for digest, length in zip(digests, lengths):
+            chunks.append(_WireChunk(digest, length, offset))
+            offset += length
+        decisions = [
+            is_dup
+            for is_dup, _ in self.namespace.index.lookup_or_insert_batch(
+                chunks
+            )
+        ]
+        dup_digests = [d for d, is_dup in zip(digests, decisions) if is_dup]
+        if dup_digests:
+            present = dict(zip(dup_digests, store.has_chunks(dup_digests)))
+            decisions = [
+                is_dup and present.get(digest, True)
+                for digest, is_dup in zip(digests, decisions)
+            ]
+        return decisions
+
     async def _on_digest_batch(self, payload: bytes) -> None:
         mode, digests, lengths = wire.decode_digest_batch(payload)
-        store = self.service.store
         if mode == wire.MODE_QUERY:
             # Read-only membership against the *shared* payload store:
             # the remote has_chunk — it reveals only chunks the caller
             # could fetch anyway (its own restores go through it too).
-            flags = store.has_chunks(digests)
+            flags = self.service.store.has_chunks(digests)
         else:
             self._require_open()
-            # Tenant-scoped dedup decision, exactly the in-process
-            # single-store shape: lookup_or_insert on the tenant index,
-            # then force a re-ship when the index outlived the payload
-            # (GC or restart skew) so pointers can never dangle.
-            counters = self.namespace.counters
-            chunks = []
-            offset = counters.bytes_received
-            for digest, length in zip(digests, lengths):
-                chunks.append(_WireChunk(digest, length, offset))
-                offset += length
-            decisions = [
-                is_dup
-                for is_dup, _ in self.namespace.index.lookup_or_insert_batch(
-                    chunks
-                )
-            ]
-            dup_digests = [
-                d for d, is_dup in zip(digests, decisions) if is_dup
-            ]
-            if dup_digests:
-                present = dict(zip(dup_digests, store.has_chunks(dup_digests)))
-                decisions = [
-                    is_dup and present.get(digest, True)
-                    for digest, is_dup in zip(digests, decisions)
-                ]
-            flags = decisions
+            flags = self._decide_flags(digests, lengths)
         await self.service._send_frame(
             self.writer, Msg.DIGEST_REPLY, wire.encode_digest_reply(flags)
         )
 
+    async def _on_digest_group(self, payloads: list[bytes]) -> None:
+        """Brownout: N queued decide batches in one widened index pass,
+        answered with N in-order DIGEST_REPLYs (the wire contract is
+        untouched — only the store-call shape widens)."""
+        service = self.service
+        service.metrics.add(decide_coalesced=len(payloads) - 1)
+        self._require_open()
+        counts: list[int] = []
+        all_digests: list[bytes] = []
+        all_lengths: list[int] = []
+        for payload in payloads:
+            mode, digests, lengths = wire.decode_digest_batch(payload)
+            if mode != wire.MODE_DECIDE:  # pragma: no cover — pre-filtered
+                raise SessionError(Err.BAD_FRAME, "mixed modes in group")
+            counts.append(len(digests))
+            all_digests.extend(digests)
+            all_lengths.extend(lengths)
+        flags = self._decide_flags(all_digests, all_lengths)
+        offset = 0
+        for count in counts:
+            await service._send_frame(
+                self.writer,
+                Msg.DIGEST_REPLY,
+                wire.encode_digest_reply(flags[offset : offset + count]),
+            )
+            offset += count
+
     async def _on_chunk_batch(self, payload: bytes) -> None:
         scoped = self._require_open()
         items = wire.decode_chunk_batch(payload)
+        received = sum(len(data) for _, data in items)
+        quota = self.service.quota
+        deny = quota.deny_reason(self.namespace.usage, received, len(items))
+        if deny is not None:
+            # Hard ceiling: refuse *before* anything lands, fatally —
+            # the parked session can resume once quota is raised, but
+            # replaying the same frame will be denied again, so the
+            # tenant can never store past its cap.
+            self.service.metrics.add(quota_rejections=1)
+            raise SessionError(Err.QUOTA_EXCEEDED, deny, fatal=True)
         try:
             self.service.agent.receive_chunks(scoped, items)
         except ValueError as exc:
@@ -834,7 +1223,11 @@ class _Session:
             # drop the connection — nothing of this batch was stored.
             raise SessionError(Err.DIGEST_MISMATCH, str(exc), fatal=True) from None
         self.applied_frames += 1
-        received = sum(len(data) for _, data in items)
+        # Durable usage accounting, charged exactly once per *applied*
+        # frame: the resume protocol's applied-frames high-water mark
+        # means a re-shipped frame a parked session replays was never
+        # applied (and so never charged) the first time.
+        self.namespace.usage.charge(received, len(items))
         counters = self.namespace.counters
         counters.chunks_received += len(items)
         counters.bytes_received += received

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core.dedup import DedupIndex
+from repro.service.limits import UsageAccount
 from repro.store.backend import make_backend
 
 __all__ = ["TenantNamespace", "TenantRegistry", "SCOPE_SEPARATOR"]
@@ -62,11 +63,20 @@ class TenantCounters:
 
 @dataclass
 class TenantNamespace:
-    """One tenant's slice of the service: scoped index + counters."""
+    """One tenant's slice of the service: scoped index + counters.
+
+    ``usage`` is the tenant's *durable* quota accounting (unique stored
+    logical bytes + chunk count), persisted next to the index so it
+    survives a disk-backed restart; ``active_sessions`` is the live
+    concurrent-session count the admission path checks per-tenant
+    session quotas against.
+    """
 
     name: str
     index: DedupIndex
     counters: TenantCounters = field(default_factory=TenantCounters)
+    usage: UsageAccount = field(default_factory=UsageAccount)
+    active_sessions: int = 0
 
     def scoped_id(self, snapshot_id: str) -> str:
         """The shared-store id for this tenant's snapshot."""
@@ -123,9 +133,15 @@ class TenantRegistry:
                 if self.data_dir is not None
                 else None
             )
+            usage_path = (
+                self.data_dir / "tenants" / name / "usage.json"
+                if self.data_dir is not None
+                else None
+            )
             namespace = TenantNamespace(
                 name=name,
                 index=DedupIndex(make_backend(self.backend_kind, index_dir)),
+                usage=UsageAccount(usage_path),
             )
             self._tenants[name] = namespace
         return namespace

@@ -319,12 +319,14 @@ class ChunkStoreCluster:
             if not self._repair_pending:
                 break
 
-    def heartbeat(self) -> dict[str, NodeState]:
+    def heartbeat(self, scrub: bool = True) -> dict[str, NodeState]:
         """Ping every live node's backend and feed the detector.
 
         The data path already reports outcomes; the heartbeat catches a
         crashed node that traffic happens to be missing.  Returns the
-        post-ping membership view.
+        post-ping membership view.  ``scrub=False`` skips this beat's
+        integrity-scrub slice (the service does that while browned out,
+        yielding background verification cycles to live traffic).
         """
         self.stats.heartbeats += 1
         for node in list(self._nodes.values()):
@@ -339,7 +341,7 @@ class ChunkStoreCluster:
                 self._note(node.node_id, False)
             else:
                 self._note(node.node_id, True)
-        if self.health.scrub_batch:
+        if scrub and self.health.scrub_batch:
             # Background integrity: each heartbeat advances the rolling
             # scrub cursor by a bounded slice, so corruption is found in
             # steady state without a stop-the-world verification pass.

@@ -1,0 +1,266 @@
+"""Tests for the client-side overload drivers (connection flood,
+slowloris) and the fault-plan grammar that configures them, plus an
+in-process overload drill against a fully armed service."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import subprocess
+import sys
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.faults import FaultPlan, OverloadSpec, drive_overload, flood, slowloris
+from repro.service import (
+    AsyncBackupClient,
+    BackupService,
+    ServiceConfig,
+    auth_token,
+)
+from repro.service.protocol import Err, RemoteError
+
+
+def run_service(fn, **config):
+    async def main():
+        async with BackupService(ServiceConfig(**config)) as service:
+            return await fn(service)
+
+    return asyncio.run(main())
+
+
+# ----------------------------------------------------------------------
+# fault-plan grammar
+# ----------------------------------------------------------------------
+
+
+class TestOverloadSpecParsing:
+    def test_flood_defaults(self):
+        plan = FaultPlan.parse("wire.flood=8")
+        assert plan.overload == OverloadSpec(flood_conns=8, flood_s=2.0)
+        assert plan.overload.active
+
+    def test_flood_with_duration(self):
+        plan = FaultPlan.parse("wire.flood=4:0.5")
+        assert plan.overload.flood_conns == 4
+        assert plan.overload.flood_s == 0.5
+
+    def test_slowloris(self):
+        plan = FaultPlan.parse("client.slowloris=6:1.5")
+        assert plan.overload.slowloris_conns == 6
+        assert plan.overload.slowloris_s == 1.5
+        assert plan.overload.flood_conns == 0
+
+    def test_composes_with_other_clauses(self):
+        plan = FaultPlan.parse(
+            "seed=9,wire.drop=0.1,wire.flood=3,client.slowloris=2"
+        )
+        assert plan.seed == 9
+        assert plan.wire.drop == 0.1
+        assert plan.overload.flood_conns == 3
+        assert plan.overload.slowloris_conns == 2
+
+    def test_inactive_by_default(self):
+        assert not FaultPlan.parse("seed=1").overload.active
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "wire.flood=0",
+            "wire.flood=oops",
+            "wire.flood=2:0",
+            "wire.flood=2:fast",
+            "client.slowloris=-1",
+        ],
+    )
+    def test_bad_clauses_rejected(self, spec):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(spec)
+
+    def test_unknown_key_error_lists_overload_knobs(self):
+        with pytest.raises(ValueError, match="wire.flood"):
+            FaultPlan.parse("wire.tsunami=3")
+
+    def test_stats_fields_exist(self):
+        stats = FaultPlan.parse("wire.flood=1").stats
+        doc = stats.as_dict()
+        assert doc["flood_conns"] == 0
+        assert doc["slowloris_conns"] == 0
+
+
+# ----------------------------------------------------------------------
+# drivers against a live service
+# ----------------------------------------------------------------------
+
+
+class TestDriversAgainstService:
+    def test_flood_gets_typed_errors_not_crashes(self):
+        plan = FaultPlan.parse("seed=5,wire.flood=4:0.3")
+
+        async def scenario(service):
+            unhandled = []
+            asyncio.get_running_loop().set_exception_handler(
+                lambda _l, ctx: unhandled.append(ctx)
+            )
+            n = await flood(
+                "127.0.0.1", service.port, plan.overload,
+                seed=plan.seed, stats=plan.stats,
+            )
+            # The service is still fully usable afterwards.
+            client = await AsyncBackupClient.connect(
+                "127.0.0.1", service.port, tenant="t"
+            )
+            await client.backup(b"d" * 30_000, "after")
+            restored = await client.restore("after")
+            await client.close()
+            asyncio.get_running_loop().set_exception_handler(None)
+            return n, restored, unhandled, service.metrics
+
+        n, restored, unhandled, metrics = run_service(
+            scenario, hello_timeout_s=0.5
+        )
+        assert n == 4 and plan.stats.flood_conns == 4
+        assert restored == b"d" * 30_000
+        assert unhandled == []
+        # Garbage after the magic answers with an ERROR frame (or the
+        # pre-auth deadline fires first) — every flood connection was
+        # classified, none crashed a task.
+        assert metrics.errors_sent + metrics.preauth_evictions >= 4
+        assert metrics.sessions_total == 1  # no flood conn became a session
+
+    def test_slowloris_evicted_by_preauth_deadline(self):
+        plan = FaultPlan.parse("seed=5,client.slowloris=4:1.0")
+
+        async def scenario(service):
+            started = asyncio.get_running_loop().time()
+            n = await slowloris(
+                "127.0.0.1", service.port, plan.overload,
+                seed=plan.seed, stats=plan.stats,
+            )
+            elapsed = asyncio.get_running_loop().time() - started
+            return n, elapsed, service.metrics
+
+        n, elapsed, metrics = run_service(scenario, hello_timeout_s=0.15)
+        assert n == 4 and plan.stats.slowloris_conns == 4
+        assert metrics.preauth_evictions == 4
+        # Eviction cut the holds short: the drill did not sit out the
+        # full 1 s duration per connection.
+        assert metrics.sessions_total == 0
+
+    def test_drive_overload_runs_both(self):
+        plan = FaultPlan.parse("wire.flood=2:0.2,client.slowloris=2:0.2")
+
+        async def scenario(service):
+            return await drive_overload("127.0.0.1", service.port, plan)
+
+        counts = run_service(scenario, hello_timeout_s=0.1)
+        assert counts == {"flood_conns": 2, "slowloris_conns": 2}
+        assert plan.stats.flood_conns == 2
+        assert plan.stats.slowloris_conns == 2
+
+
+# ----------------------------------------------------------------------
+# the drill, in process
+# ----------------------------------------------------------------------
+
+
+class TestOverloadDrill:
+    def test_greedy_clients_vs_armed_service(self, tmp_path):
+        """More clients than slots + flood + slowloris: the service
+        stays responsive on /health, refuses with typed errors only,
+        and every admitted backup restores byte-exact."""
+        auth = tmp_path / "auth"
+        auth.write_text("t0: s\nt1: s\n")
+
+        async def scenario(service):
+            unhandled = []
+            asyncio.get_running_loop().set_exception_handler(
+                lambda _l, ctx: unhandled.append(ctx)
+            )
+            plan = FaultPlan.parse(
+                "seed=2,wire.flood=4:0.4,client.slowloris=4:0.4"
+            )
+            finished, refused, failed = [], [], []
+
+            async def greedy(i):
+                tenant = f"t{i % 2}"
+                data = bytes([i]) * 40_000
+                for _ in range(20):
+                    try:
+                        client = await AsyncBackupClient.connect(
+                            "127.0.0.1", service.port, tenant=tenant,
+                            auth=auth_token("s", tenant),
+                        )
+                    except RemoteError as exc:
+                        if exc.code is Err.BUSY:
+                            await asyncio.sleep(0.05)
+                            continue
+                        refused.append(exc.code)
+                        return
+                    try:
+                        await client.backup(data, f"snap-{i}")
+                        finished.append((i, tenant, data))
+                    except RemoteError as exc:
+                        refused.append(exc.code)
+                    finally:
+                        await client.close()
+                    return
+                refused.append(Err.BUSY)
+
+            async def health():
+                return await asyncio.to_thread(
+                    lambda: json.load(
+                        urllib.request.urlopen(
+                            f"http://127.0.0.1:{service.port}/health",
+                            timeout=2,
+                        )
+                    )
+                )
+
+            results = await asyncio.gather(
+                drive_overload("127.0.0.1", service.port, plan),
+                health(),
+                *(greedy(i) for i in range(8)),
+                return_exceptions=True,
+            )
+            failed = [r for r in results if isinstance(r, BaseException)]
+            probe = results[1]
+            for i, tenant, data in finished:
+                restorer = await AsyncBackupClient.connect(
+                    "127.0.0.1", service.port, tenant=tenant,
+                    auth=auth_token("s", tenant), purpose=1,
+                )
+                assert await restorer.restore(f"snap-{i}") == data
+                await restorer.close()
+            asyncio.get_running_loop().set_exception_handler(None)
+            return finished, refused, failed, probe, unhandled, service.metrics
+
+        finished, refused, failed, probe, unhandled, metrics = run_service(
+            scenario,
+            auth_file=str(auth),
+            max_sessions=2,
+            restore_reserve=1,
+            hello_timeout_s=0.2,
+            quota_bytes=120_000,
+        )
+        assert failed == [] and unhandled == []
+        assert probe["status"] == "ok"
+        assert len(finished) >= 1
+        assert all(code in (Err.BUSY, Err.QUOTA_EXCEEDED) for code in refused)
+        assert metrics.preauth_evictions >= 1  # slowloris holds evicted
+        assert metrics.sessions_rejected >= 1  # admission shed the excess
+
+    def test_drill_script_passes(self):
+        """The CI drill script itself, at reduced scale."""
+        script = Path(__file__).parent.parent / "examples" / "overload_drill.py"
+        proc = subprocess.run(
+            [
+                sys.executable, str(script),
+                "--clients", "8", "--max-sessions", "2", "--seconds", "0.4",
+            ],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "PASS" in proc.stdout

@@ -66,7 +66,13 @@ async def connect(service, tenant="default", **kwargs):
 class TestCodec:
     def test_hello_round_trip(self):
         payload = wire.encode_hello("acme", "agent-7")
-        assert wire.decode_hello(payload) == (wire.PROTOCOL_VERSION, "acme", "agent-7")
+        assert wire.decode_hello(payload) == (
+            wire.PROTOCOL_VERSION,
+            "acme",
+            "agent-7",
+            "",
+            wire.PURPOSE_BACKUP,
+        )
 
     def test_hello_ok_round_trip(self):
         payload = wire.encode_hello_ok("acme-3", 8)

@@ -1,0 +1,131 @@
+"""Lightweight call/attribute reference graph over the parsed universe.
+
+One pass over every module collects (a) definitions — module-level and
+class-level functions/classes with their lines — and (b) references —
+every ``Name`` load, every ``Attribute`` attr, and every string
+constant that looks like an identifier (``getattr(obj, "has_chunks")``
+and dict-dispatch-by-name patterns count as uses).  Checkers that need
+whole-repo visibility (dead code, batched-API twins) query this instead
+of re-walking every tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.analysis.index import ModuleIndex, SourceModule
+
+__all__ = ["RefGraph"]
+
+
+@dataclass
+class Definition:
+    """One def/class worth tracking for reachability."""
+
+    name: str
+    rel: str
+    line: int
+    kind: str  # "function" | "class"
+    #: Qualified within the module, e.g. "ChunkStore.has_chunk".
+    qualname: str
+    #: Class-level (method) or module-level?
+    in_class: bool
+    decorated: bool
+
+
+@dataclass
+class ModuleRefs:
+    """Per-module reference bag."""
+
+    names: Counter = field(default_factory=Counter)
+    exports: list[str] = field(default_factory=list)
+
+
+class RefGraph:
+    def __init__(self, index: ModuleIndex) -> None:
+        self.definitions: list[Definition] = []
+        #: Global use counts by bare name (Name loads + Attribute attrs
+        #: + identifier-shaped string constants).
+        self.refs: Counter = Counter()
+        #: The same, partitioned by module (for export-reachability).
+        self.module_refs: dict[str, ModuleRefs] = {}
+        for module in index.modules:
+            self._scan(module)
+
+    def _scan(self, module: SourceModule) -> None:
+        refs = ModuleRefs()
+        self.module_refs[module.rel] = refs
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                refs.names[node.id] += 1
+            elif isinstance(node, ast.Attribute):
+                refs.names[node.attr] += 1
+            elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+                if node.value.isidentifier():
+                    refs.names[node.value] += 1
+            elif isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                parent = module.parents.get(node)
+                if isinstance(parent, ast.ClassDef):
+                    qual = f"{parent.name}.{node.name}"
+                    in_class = True
+                elif isinstance(parent, ast.Module):
+                    qual = node.name
+                    in_class = False
+                else:
+                    continue  # nested defs: closure-local, skip
+                self.definitions.append(
+                    Definition(
+                        name=node.name,
+                        rel=module.rel,
+                        line=node.lineno,
+                        kind=(
+                            "class"
+                            if isinstance(node, ast.ClassDef)
+                            else "function"
+                        ),
+                        qualname=qual,
+                        in_class=in_class,
+                        decorated=bool(node.decorator_list),
+                    )
+                )
+        refs.exports = _module_exports(module)
+        self.refs.update(refs.names)
+
+    def uses(self, name: str) -> int:
+        """Whole-universe use count of a bare name.
+
+        Definitions themselves don't count (a def is a binding, not a
+        Load), but a recursive self-call does — acceptable: a helper
+        only it calls still shows up as a single-component island in
+        review, and never deleting a recursive helper is the safe side.
+        """
+        return self.refs[name]
+
+    def uses_outside(self, name: str, rel: str) -> int:
+        """Use count of ``name`` everywhere except module ``rel``."""
+        own = self.module_refs.get(rel)
+        return self.refs[name] - (own.names[name] if own else 0)
+
+
+def _module_exports(module: SourceModule) -> list[str]:
+    for node in module.tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                value = node.value
+                if isinstance(value, (ast.List, ast.Tuple)):
+                    return [
+                        elt.value
+                        for elt in value.elts
+                        if isinstance(elt, ast.Constant)
+                        and isinstance(elt.value, str)
+                    ]
+    return []

@@ -1,0 +1,156 @@
+"""The shared parsed-module index.
+
+Every checker works from one parse of each file: the AST, a parent map
+(``ast`` nodes don't know their ancestors), and the suppression
+comments extracted with :mod:`tokenize` (the AST drops comments).
+Building this once keeps the whole run O(repo) no matter how many
+rules are registered.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from pathlib import Path
+
+__all__ = ["SourceModule", "ModuleIndex", "dotted_name"]
+
+#: ``# repro: lint-ok[rule]`` or ``lint-ok[rule-a, rule-b]`` or
+#: ``lint-ok[*]``; anything after the closing bracket is the reason.
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*lint-ok\[([^\]]+)\]")
+
+
+class SourceModule:
+    """One parsed source file plus the comment-level metadata."""
+
+    def __init__(self, path: Path, rel: str, source: str) -> None:
+        self.path = path
+        self.rel = rel
+        self.source = source
+        self.tree = ast.parse(source, filename=str(path))
+        #: line -> set of suppressed rule names ("*" = all rules).
+        self.suppressions: dict[int, set[str]] = {}
+        for match, line in _iter_suppress_comments(source):
+            rules = {part.strip() for part in match.split(",") if part.strip()}
+            self.suppressions.setdefault(line, set()).update(rules)
+        #: child -> parent for every AST node (lexical-ancestor walks).
+        self.parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self.parents[child] = parent
+
+    def ancestors(self, node: ast.AST):
+        """Lexical ancestors of ``node``, innermost first."""
+        current = self.parents.get(node)
+        while current is not None:
+            yield current
+            current = self.parents.get(current)
+
+    def enclosing_function(self, node: ast.AST):
+        """The nearest (async) function def containing ``node``."""
+        for anc in self.ancestors(node):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return anc
+        return None
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """A suppression comment applies to its own line and the next
+        (so a comment above the statement works too)."""
+        for at in (line, line - 1):
+            rules = self.suppressions.get(at)
+            if rules and (rule in rules or "*" in rules):
+                return True
+        return False
+
+
+def _iter_suppress_comments(source: str):
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                match = _SUPPRESS_RE.search(tok.string)
+                if match:
+                    yield match.group(1), tok.start[0]
+    except tokenize.TokenError:  # pragma: no cover — ast.parse caught it
+        return
+
+
+class ModuleIndex:
+    """All parsed modules for one lint run, keyed by relative path."""
+
+    def __init__(self, files: list[Path], root: Path) -> None:
+        self.root = root
+        self.modules: list[SourceModule] = []
+        #: Files that failed to parse: (rel, message) — surfaced as
+        #: internal errors, never silently skipped.
+        self.broken: list[tuple[str, str]] = []
+        seen: set[Path] = set()
+        for path in files:
+            path = path.resolve()
+            if path in seen:
+                continue
+            seen.add(path)
+            rel = _relative(path, root)
+            try:
+                source = path.read_text(encoding="utf-8")
+                self.modules.append(SourceModule(path, rel, source))
+            except (OSError, SyntaxError, ValueError) as exc:
+                self.broken.append((rel, f"{type(exc).__name__}: {exc}"))
+        self.by_rel = {m.rel: m for m in self.modules}
+
+    def find(self, suffix: str) -> SourceModule | None:
+        """The unique module whose path ends with ``suffix`` (posix),
+        e.g. ``find("service/protocol.py")``; None when absent."""
+        matches = [m for m in self.modules if _ends_with(m.rel, suffix)]
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            return None
+        # Ambiguity (a fixture copy next to the real tree): prefer the
+        # shortest path — the real module sits closest to the root.
+        return min(matches, key=lambda m: len(m.rel))
+
+    def matching(self, suffixes: tuple[str, ...]) -> list[SourceModule]:
+        """Every module whose path ends with one of ``suffixes``."""
+        return [
+            m
+            for m in self.modules
+            if any(_ends_with(m.rel, s) for s in suffixes)
+        ]
+
+
+def _ends_with(rel: str, suffix: str) -> bool:
+    return rel == suffix or rel.endswith("/" + suffix)
+
+
+def _relative(path: Path, root: Path) -> str:
+    try:
+        return path.relative_to(root).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, None for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def discover_files(paths: list[Path]) -> list[Path]:
+    """Python files under ``paths`` (files taken as-is, dirs recursed),
+    sorted for deterministic finding order."""
+    out: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            out.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            out.append(path)
+    return out

@@ -1,0 +1,77 @@
+"""Finding record and the baseline file format."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["Finding", "load_baseline", "apply_baseline"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored at a source line."""
+
+    rule: str
+    #: Repo-relative posix path when the file sits under the lint root,
+    #: absolute posix path otherwise (fixture trees in tests).
+    path: str
+    line: int
+    message: str
+
+    def key(self) -> tuple[str, str, str]:
+        """Baseline identity: line numbers shift on unrelated edits, so
+        a baselined finding matches on (rule, path, message) only."""
+        return (self.rule, self.path, self.message)
+
+    def format(self) -> str:
+        """The clickable ``path:line`` shape the other CLI output uses."""
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+def load_baseline(path: Path) -> list[tuple[str, str, str]]:
+    """Baseline keys from a JSON list of finding objects.
+
+    Returns a *list* (not a set): two identical findings in different
+    spots baseline independently — one entry forgives one finding.
+    """
+    doc = json.loads(path.read_text())
+    if not isinstance(doc, list):
+        raise ValueError(f"baseline {path} must be a JSON list")
+    keys = []
+    for entry in doc:
+        try:
+            keys.append((entry["rule"], entry["path"], entry["message"]))
+        except (TypeError, KeyError):
+            raise ValueError(
+                f"baseline {path}: each entry needs rule/path/message"
+            ) from None
+    return keys
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: list[tuple[str, str, str]]
+) -> tuple[list[Finding], int]:
+    """Split findings into (unbaselined, count-baselined-away)."""
+    budget: dict[tuple[str, str, str], int] = {}
+    for key in baseline:
+        budget[key] = budget.get(key, 0) + 1
+    fresh: list[Finding] = []
+    matched = 0
+    for finding in findings:
+        key = finding.key()
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            matched += 1
+        else:
+            fresh.append(finding)
+    return fresh, matched

@@ -1,0 +1,72 @@
+"""Checker plugin registry and the shared lint context.
+
+A rule is a :class:`Checker` subclass with a ``name``, a one-line
+``description``, and a ``check(ctx)`` generator of findings — register
+it with ``@register`` and ``repro lint`` picks it up.  ``ctx`` hands
+every rule the same parsed index and (lazily built) reference graph, so
+adding a rule costs one tree walk, not one parse.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.graph import RefGraph
+from repro.analysis.index import ModuleIndex
+from repro.analysis.model import Finding
+
+__all__ = ["Checker", "LintContext", "register", "all_checkers"]
+
+_REGISTRY: dict[str, type["Checker"]] = {}
+
+
+class LintContext:
+    def __init__(self, index: ModuleIndex) -> None:
+        self.index = index
+        self._graph: RefGraph | None = None
+
+    @property
+    def graph(self) -> RefGraph:
+        """The reference graph, built on first use and shared after."""
+        if self._graph is None:
+            self._graph = RefGraph(self.index)
+        return self._graph
+
+
+class Checker:
+    """Base class for one lint rule."""
+
+    #: Rule id — what goes in ``--rule`` and ``lint-ok[...]`` brackets.
+    name: str = ""
+    description: str = ""
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module, node, message: str) -> Finding:
+        """A finding anchored at ``node`` (an AST node or a line int)."""
+        line = node if isinstance(node, int) else getattr(node, "lineno", 1)
+        return Finding(
+            rule=self.name, path=module.rel, line=line, message=message
+        )
+
+
+def register(cls: type[Checker]) -> type[Checker]:
+    if not cls.name:
+        raise ValueError(f"checker {cls.__name__} needs a name")
+    if cls.name in _REGISTRY:
+        raise ValueError(f"duplicate checker name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def all_checkers() -> dict[str, type[Checker]]:
+    """Every registered rule, importing the rule modules on first call."""
+    # Import for the registration side effect; idempotent.
+    from repro.analysis import (  # noqa: F401
+        rules_core,
+        rules_deadcode,
+        rules_service,
+    )
+
+    return dict(_REGISTRY)

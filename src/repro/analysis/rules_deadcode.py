@@ -1,0 +1,75 @@
+"""Dead-code detection over the shared reference graph."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.model import Finding
+from repro.analysis.registry import Checker, LintContext, register
+
+
+@register
+class DeadCodeChecker(Checker):
+    """Private helpers and declared exports nobody references.
+
+    Reference counting is name-based over the whole indexed universe
+    (``src`` + ``tests`` + ``benchmarks`` + ``examples``): ``Name``
+    loads, ``Attribute`` accesses, and identifier-shaped string
+    constants (``getattr``/dispatch-by-name) all count as uses, so the
+    rule errs on the side of keeping code.  Documented reference
+    implementations stay with a ``lint-ok[dead-code]`` suppression.
+    """
+
+    name = "dead-code"
+    description = (
+        "flags private functions/classes with zero references and "
+        "__all__ exports never used outside their module"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        graph = ctx.graph
+        for definition in graph.definitions:
+            name = definition.name
+            if not name.startswith("_"):
+                continue
+            if name.startswith("__") and name.endswith("__"):
+                continue  # dunder protocol methods are called implicitly
+            if definition.decorated:
+                continue  # decorators register/route; the def is a use
+            if graph.uses(name) == 0:
+                where = "method" if definition.in_class else "helper"
+                module = ctx.index.by_rel[definition.rel]
+                yield self.finding(
+                    module,
+                    definition.line,
+                    f"private {where} {definition.qualname!r} is never "
+                    "referenced anywhere in the repo — delete it, or "
+                    "suppress with a reason if it documents a "
+                    "reference implementation",
+                )
+        for rel, refs in graph.module_refs.items():
+            module = ctx.index.by_rel[rel]
+            for export in refs.exports:
+                if graph.uses_outside(export, rel) == 0:
+                    yield Finding(
+                        rule=self.name,
+                        path=rel,
+                        line=_export_line(module, export),
+                        message=(
+                            f"__all__ export {export!r} is never "
+                            "referenced outside its module — unexport "
+                            "or delete it"
+                        ),
+                    )
+
+
+def _export_line(module, export: str) -> int:
+    import ast
+
+    for node in ast.walk(module.tree):
+        if (
+            isinstance(node, ast.Constant)
+            and node.value == export
+        ):
+            return node.lineno
+    return 1

@@ -111,6 +111,7 @@ class ShredderAgent:
         if has_chunks is not None:
             present = has_chunks(pointer_digests)
         else:
+            # repro: lint-ok[batched-api] duck-typed fallback for stores without has_chunks
             present = [self.store.has_chunk(d) for d in pointer_digests]
         for digest, ok in zip(pointer_digests, present):
             if not ok:

@@ -317,18 +317,21 @@ class BackupServer:
             # identical dedup statistics.
             self.index.lookup_or_insert_batch(batch)
             return decisions
-        decisions = []
-        for chunk, (is_dup, _) in zip(
-            batch, self.index.lookup_or_insert_batch(batch)
-        ):
-            if is_dup and not self.agent.store.has_chunk(chunk.digest):
-                # The index outlived the store (GC reclaimed the chunk,
-                # or a persistent index reopened against a sparser site
-                # dir): shipping a pointer would crash the agent.
-                # Re-ship the payload instead — the cluster path gets
-                # this for free by probing the store itself.
-                is_dup = False
-            decisions.append(is_dup)
+        decisions = [
+            is_dup for is_dup, _ in self.index.lookup_or_insert_batch(batch)
+        ]
+        # The index can outlive the store (GC reclaimed a chunk, or a
+        # persistent index reopened against a sparser site dir): a
+        # pointer for a missing chunk would crash the agent.  Verify
+        # every claimed dup against the store in one batched probe and
+        # re-ship the payload where it is gone — the cluster path gets
+        # this for free by probing the store itself.
+        dup_digests = [
+            c.digest for c, is_dup in zip(batch, decisions) if is_dup
+        ]
+        if dup_digests:
+            stored = iter(self.agent.store.has_chunks(dup_digests))
+            decisions = [next(stored) if is_dup else False for is_dup in decisions]
         return decisions
 
     def backup_snapshot(self, data: bytes, snapshot_id: str) -> BackupReport:

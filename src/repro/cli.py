@@ -23,6 +23,11 @@ Commands
                     rebuild mismatches from parity/replicas
 ``tune``            measure + persist the striped-scan geometry for this
                     host (tile size, lanes, fused roll steps, threads)
+``lint [PATHS]``    AST-based project-invariant checks (zero-copy hot
+                    path, batched-only probes, async-blocking, lock
+                    discipline, protocol exhaustiveness, metrics
+                    coverage, dead code); exits 0 clean / 1 findings /
+                    2 internal error
 """
 
 from __future__ import annotations
@@ -33,7 +38,7 @@ from pathlib import Path
 
 from repro.bench.reporting import ResultTable, format_table
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main"]
 
 GB = 1 << 30
 
@@ -630,6 +635,39 @@ def cmd_tune(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    import json
+
+    from repro.analysis.runner import run_lint
+
+    result = run_lint(
+        args.paths or ["src"],
+        rules=args.rule or None,
+        baseline_path=args.baseline,
+    )
+    if args.out or args.json:
+        doc = json.dumps(result.to_dict(), indent=2, sort_keys=True)
+        if args.out:
+            Path(args.out).write_text(doc + "\n")
+        if args.json:
+            print(doc)
+    if not args.json:
+        for finding in result.findings:
+            print(finding.format())
+        for error in result.errors:
+            print(f"error: {error}", file=sys.stderr)
+        counts = (
+            f"{result.checked_files} files checked, "
+            f"{len(result.findings)} finding(s)"
+        )
+        if result.suppressed:
+            counts += f", {result.suppressed} suppressed"
+        if result.baselined:
+            counts += f", {result.baselined} baselined"
+        print(counts)
+    return result.exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -858,6 +896,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune.add_argument("--show", action="store_true",
                         help="print the effective geometry without tuning")
     p_tune.set_defaults(fn=cmd_tune)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="AST-based project-invariant checks over the source tree",
+        description=(
+            "Static analysis for the invariants generic linters don't "
+            "know: zero-copy scanning on the hot path, batched-only "
+            "backend probes, no blocking calls inside async def, "
+            "lock-guarded shared pool state, exhaustive wire-protocol "
+            "dispatch, metrics counters that reach the snapshot, and "
+            "dead private helpers. Exit code: 0 clean, 1 findings, 2 "
+            "internal error. Suppress one line with "
+            "'# repro: lint-ok[rule] reason'."
+        ),
+    )
+    p_lint.add_argument("paths", nargs="*", default=None, metavar="PATH",
+                        help="files or directories to lint (default: src)")
+    p_lint.add_argument("--rule", action="append", metavar="R",
+                        help="run only rule R (repeatable); see the "
+                        "ROADMAP's invariant table for rule names")
+    p_lint.add_argument("--json", action="store_true",
+                        help="print the full JSON report instead of "
+                        "path:line findings")
+    p_lint.add_argument("--out", default=None, metavar="FILE",
+                        help="also write the JSON report to FILE "
+                        "(CI artifact)")
+    p_lint.add_argument("--baseline", default=None, metavar="FILE",
+                        help="baseline file of forgiven findings "
+                        "(default: ./lint-baseline.json when present)")
+    p_lint.set_defaults(fn=cmd_lint)
 
     return parser
 

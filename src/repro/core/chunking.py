@@ -149,7 +149,7 @@ class Chunk:
         self.offset = offset
         self.length = length
         if data is not None and not isinstance(data, bytes):
-            data = bytes(data)
+            data = bytes(data)  # repro: lint-ok[zero-copy] API coercion: callers own `data`
         self._data = data
         self._digest = digest
         self._views = views
@@ -169,6 +169,7 @@ class Chunk:
                 )
             views = self._views
             self._data = (
+                # repro: lint-ok[zero-copy] .data IS the materialization point — one copy, cached
                 bytes(views[0]) if len(views) == 1 else b"".join(bytes(v) for v in views)
             )
             self._views = None  # buffer references no longer needed
@@ -205,7 +206,7 @@ class Chunk:
     @staticmethod
     def from_bytes(offset: int, data) -> "Chunk":
         """Eager chunk: copy the payload and hash it immediately."""
-        data = bytes(data)
+        data = bytes(data)  # repro: lint-ok[zero-copy] eager constructor: the copy is the contract
         return Chunk(offset=offset, length=len(data), data=data, digest=chunk_hash(data))
 
     @staticmethod
@@ -451,7 +452,8 @@ def stream_chunks(
     for buf in buffers:
         view = as_byte_view(buf)
         if not view.readonly:
-            view = memoryview(bytes(view))  # snapshot: producer may refill
+            # repro: lint-ok[zero-copy] snapshot: the producer may refill this writable buffer
+            view = memoryview(bytes(view))
         nbytes = len(view)
         if nbytes == 0:
             continue
@@ -459,6 +461,7 @@ def stream_chunks(
         # Windows straddling the boundary end in (start, start + w - 1]:
         # splice the stream tail onto the head of the new buffer.
         if tail:
+            # repro: lint-ok[zero-copy] boundary splice is bounded by the window size, not the input
             splice = tail + bytes(view[: w - 1])
             base = start - len(tail)
             for cut in candidate_fn(splice):
@@ -468,9 +471,10 @@ def stream_chunks(
         if nbytes >= w:
             cands.extend(start + cut for cut in candidate_fn(view))
         if nbytes >= w - 1:
+            # repro: lint-ok[zero-copy] tail capture copies at most window-1 bytes per buffer
             tail = bytes(view[nbytes - (w - 1) :])
         else:
-            tail = (tail + bytes(view))[-(w - 1) :]
+            tail = (tail + bytes(view))[-(w - 1) :]  # repro: lint-ok[zero-copy] sub-window buffer
         segments.append((start, view))
         end += nbytes
 

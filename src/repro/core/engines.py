@@ -286,7 +286,7 @@ class SerialEngine(Engine):
 
     def candidate_cuts(self, data, mask: int, marker: int) -> list[int]:
         if not isinstance(data, bytes):  # reference path: a copy is fine
-            data = as_uint8(data).tobytes()
+            data = as_uint8(data).tobytes()  # repro: lint-ok[zero-copy] documented reference path
         w = self.fingerprinter.window_size
         cuts = []
         for start, fp in self.fingerprinter.sliding_fingerprints(data):
@@ -683,11 +683,19 @@ class VectorEngine(Engine):
 
 
 _DEFAULT: VectorEngine | None = None
+# Dedicated lock: constructing a VectorEngine takes _TABLE_LOCK for its
+# table caches, so the singleton guard must be a different (outer) lock.
+_DEFAULT_LOCK = threading.Lock()
 
 
 def default_engine() -> VectorEngine:
     """Process-wide shared VectorEngine for the default fingerprinter."""
     global _DEFAULT
-    if _DEFAULT is None:
-        _DEFAULT = VectorEngine()
-    return _DEFAULT
+    engine = _DEFAULT
+    if engine is None:
+        # Same double-checked discipline as the table caches above.
+        with _DEFAULT_LOCK:
+            engine = _DEFAULT
+            if engine is None:
+                engine = _DEFAULT = VectorEngine()
+    return engine

@@ -20,7 +20,6 @@ __all__ = [
     "mod",
     "multiply_mod",
     "pow_mod",
-    "monomial_mod",
     "byte_shift_table",
     "gcd",
     "is_irreducible",

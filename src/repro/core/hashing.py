@@ -37,12 +37,7 @@ __all__ = [
     "digest_many",
     "digest_views",
     "close_pools",
-    "HASH_SIZE",
 ]
-
-#: Size in bytes of the digest returned by :func:`chunk_hash`.
-HASH_SIZE = 32
-
 
 def chunk_hash(data) -> bytes:
     """Collision-resistant digest of a chunk (SHA-256, 32 bytes).

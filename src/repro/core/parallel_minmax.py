@@ -34,7 +34,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Sequence
 
-__all__ = ["Jump", "compute_jumps", "parallel_select_cuts"]
+__all__ = ["compute_jumps", "parallel_select_cuts"]
 
 
 @dataclass(frozen=True)

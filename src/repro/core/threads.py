@@ -145,7 +145,8 @@ def set_default_threads(n: int | None) -> None:
     global _tuned_default
     if n is not None and n < 0:
         raise ValueError(f"thread count must be >= 0, got {n}")
-    _tuned_default = n
+    with _lock:
+        _tuned_default = n
 
 
 def _get_pool(which: str, workers: int) -> ThreadPoolExecutor:

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 from repro.gpu.specs import GPUSpec, TESLA_C2050
 
-__all__ = ["KernelResources", "Occupancy", "occupancy"]
+__all__ = ["KernelResources", "occupancy"]
 
 #: Fermi hardware limits not in Table 1.
 MAX_BLOCKS_PER_SM = 8

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.mapreduce.job import MapReduceJob, text_input_format
 
-__all__ = ["cooccurrence_job", "cooccurrence_reference", "DEFAULT_WINDOW"]
+__all__ = ["cooccurrence_job", "cooccurrence_reference"]
 
 DEFAULT_WINDOW = 3
 

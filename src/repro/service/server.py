@@ -59,7 +59,7 @@ from repro.store.health import HealthPolicy
 from repro.store.lookup import LookupCostModel
 from repro.store.schemes import make_scheme
 
-__all__ = ["ServiceConfig", "BackupService", "SessionError"]
+__all__ = ["ServiceConfig", "BackupService"]
 
 
 @dataclass(frozen=True)

@@ -34,7 +34,7 @@ from repro.core.dedup import DedupIndex
 from repro.service.limits import UsageAccount
 from repro.store.backend import make_backend
 
-__all__ = ["TenantNamespace", "TenantRegistry", "SCOPE_SEPARATOR"]
+__all__ = ["TenantNamespace", "TenantRegistry"]
 
 SCOPE_SEPARATOR = "/"
 

@@ -565,6 +565,7 @@ class PersistentBackend:
             if key not in run.bloom:
                 self.stats.bloom_negatives += 1
                 continue
+            # repro: lint-ok[batched-api] one key walking the LSM runs, not a key batch
             found = run.lookup(key)
             if found is _TOMBSTONE:
                 return None

@@ -81,7 +81,6 @@ if TYPE_CHECKING:  # annotation-only: keeps repro.store import-clean of repro.ba
 
 __all__ = [
     "ChunkStoreCluster",
-    "ClusterStats",
     "RepairReport",
     "MigrationReport",
     "ScrubReport",
@@ -744,7 +743,8 @@ class ChunkStoreCluster:
     def put_recipe(self, recipe: SnapshotRecipe) -> None:
         # RecipeStore.put rejects duplicates; only the chunk-presence
         # invariant is the cluster's to enforce.
-        missing = [d for d in recipe.digests if not self.has_chunk(d)]
+        present = self.has_chunks(recipe.digests)
+        missing = [d for d, ok in zip(recipe.digests, present) if not ok]
         if missing:
             raise ValueError(
                 f"recipe {recipe.snapshot_id!r} references {len(missing)} "

@@ -151,6 +151,7 @@ class BatchedLookup:
             if node is None or not node.alive:
                 continue
             try:
+                # repro: lint-ok[batched-api] one digest across its replicas, not a digest batch
                 result = node.probe(digest)
             except NodeDownError:
                 continue  # raced a mid-batch death; try the next replica
